@@ -1,0 +1,365 @@
+// Benchmarks regenerating the paper's evaluation (Section 5): one benchmark
+// per table/figure, plus ablations of the design choices DESIGN.md calls
+// out. Domain results (timing error, trace size, code size, U-shape) are
+// attached to the standard output via b.ReportMetric, so
+// `go test -bench=. -benchmem` doubles as the experiment log. Full-scale
+// (class C) runs live in cmd/experiments; the benchmarks use smaller
+// classes to stay fast.
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/align"
+	"repro/internal/apps"
+	"repro/internal/conceptual"
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/mpi"
+	"repro/internal/netmodel"
+	"repro/internal/trace"
+	"repro/internal/wildcard"
+)
+
+func pickRanks(name string, hint int) int {
+	app := apps.ByName(name)
+	for n := hint; n >= app.MinRanks; n-- {
+		if app.ValidRanks(n) {
+			return n
+		}
+	}
+	return app.MinRanks
+}
+
+// BenchmarkFig6 reproduces Figure 6 per application: trace the original,
+// generate the benchmark, run both, and report the timing error. The
+// "errpct" metric is the per-app |generated-original|/original percentage.
+func BenchmarkFig6(b *testing.B) {
+	for _, name := range append(apps.NPBNames(), "sweep3d") {
+		b.Run(name, func(b *testing.B) {
+			n := pickRanks(name, 16)
+			var errPct float64
+			for i := 0; i < b.N; i++ {
+				run, err := harness.TraceApp(name, apps.NewConfig(n, apps.ClassW), netmodel.BlueGeneL())
+				if err != nil {
+					b.Fatal(err)
+				}
+				bench, err := harness.GenerateAndRun(run.Trace, netmodel.BlueGeneL())
+				if err != nil {
+					b.Fatal(err)
+				}
+				errPct = 100 * abs(bench.ElapsedUS-run.ElapsedUS) / run.ElapsedUS
+			}
+			b.ReportMetric(errPct, "errpct")
+		})
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// BenchmarkFig7 reproduces the Figure 7 sweep and reports the U-shape
+// metrics: the dip (minimum as a fraction of the 100% time) and the
+// 0%-compute point as a fraction of the 100% time.
+func BenchmarkFig7(b *testing.B) {
+	var dipFrac, zeroFrac float64
+	for i := 0; i < b.N; i++ {
+		points, err := harness.Fig7(apps.ClassA, 16, netmodel.EthernetCluster())
+		if err != nil {
+			b.Fatal(err)
+		}
+		minIdx, _ := harness.Fig7Shape(points)
+		dipFrac = points[minIdx].TotalUS / points[0].TotalUS
+		zeroFrac = points[len(points)-1].TotalUS / points[0].TotalUS
+	}
+	b.ReportMetric(dipFrac, "dip-frac")
+	b.ReportMetric(zeroFrac, "zero-frac")
+}
+
+// BenchmarkTable1 measures the generation path for each substituted
+// collective (Table 1) end to end: trace -> align -> generate.
+func BenchmarkTable1(b *testing.B) {
+	counts := []int{128, 256, 384, 512}
+	cases := []struct {
+		name string
+		body func(*mpi.Rank)
+	}{
+		{"Allgather", func(r *mpi.Rank) { r.Allgather(r.World(), 64) }},
+		{"Allgatherv", func(r *mpi.Rank) { r.Allgatherv(r.World(), counts[r.Rank()]) }},
+		{"Alltoallv", func(r *mpi.Rank) { r.Alltoallv(r.World(), counts) }},
+		{"Gather", func(r *mpi.Rank) { r.Gather(r.World(), 1, 64) }},
+		{"Gatherv", func(r *mpi.Rank) { r.Gatherv(r.World(), 1, counts[r.Rank()]) }},
+		{"ReduceScatter", func(r *mpi.Rank) { r.ReduceScatter(r.World(), counts) }},
+		{"Scatter", func(r *mpi.Rank) { r.Scatter(r.World(), 2, 64) }},
+		{"Scatterv", func(r *mpi.Rank) { r.Scatterv(r.World(), 2, counts) }},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			col := trace.NewCollector(4)
+			if _, err := mpi.Run(4, netmodel.Ideal(), c.body, mpi.WithTracer(col.TracerFor)); err != nil {
+				b.Fatal(err)
+			}
+			tr := col.Trace()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Generate(tr, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCorrectness runs the Section 5.2 profile-comparison experiment.
+func BenchmarkCorrectness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, name := range []string{"bt", "lu", "is", "sweep3d"} {
+			n := pickRanks(name, 16)
+			res, err := harness.Correctness(name, apps.NewConfig(n, apps.ClassS), netmodel.BlueGeneL())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.Match {
+				b.Fatalf("%s profiles diverged: %v", name, res.Diffs)
+			}
+		}
+	}
+}
+
+// BenchmarkScaling measures trace size and generated-code size versus rank
+// count (the Section 2 sublinearity claims). Metrics: compressed trace
+// nodes and generated statements at the largest scale.
+func BenchmarkScaling(b *testing.B) {
+	for _, n := range []int{8, 32, 128} {
+		b.Run(fmt.Sprintf("ring-%dranks", n), func(b *testing.B) {
+			var nodes, stmts int
+			for i := 0; i < b.N; i++ {
+				points, err := harness.Scaling("ring", apps.ClassS, []int{n})
+				if err != nil {
+					b.Fatal(err)
+				}
+				nodes, stmts = points[0].TraceNodes, points[0].Stmts
+			}
+			b.ReportMetric(float64(nodes), "trace-nodes")
+			b.ReportMetric(float64(stmts), "stmts")
+		})
+	}
+}
+
+// BenchmarkAlign measures Algorithm 1 (collective alignment) on Sweep3D's
+// split-call-site collectives; the O(p*e) traversal is the dominant cost.
+func BenchmarkAlign(b *testing.B) {
+	run, err := harness.TraceApp("sweep3d", apps.NewConfig(16, apps.ClassS), netmodel.Ideal())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !align.Needed(run.Trace) {
+		b.Fatal("premise: sweep3d trace should need alignment")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := align.Align(run.Trace); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAlignPrecheck measures the O(r) pre-check that lets aligned
+// traces skip Algorithm 1 entirely.
+func BenchmarkAlignPrecheck(b *testing.B) {
+	run, err := harness.TraceApp("ft", apps.NewConfig(16, apps.ClassS), netmodel.Ideal())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if align.Needed(run.Trace) {
+			b.Fatal("ft is SPMD; no alignment expected")
+		}
+	}
+}
+
+// BenchmarkWildcardResolve measures Algorithm 2 on LU's wildcard receives.
+func BenchmarkWildcardResolve(b *testing.B) {
+	run, err := harness.TraceApp("lu", apps.NewConfig(16, apps.ClassS), netmodel.Ideal())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !wildcard.Present(run.Trace) {
+		b.Fatal("premise: lu trace should contain wildcards")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := wildcard.Resolve(run.Trace); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWildcardPrecheck measures the O(r) wildcard pre-check.
+func BenchmarkWildcardPrecheck(b *testing.B) {
+	run, err := harness.TraceApp("bt", apps.NewConfig(16, apps.ClassS), netmodel.Ideal())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if wildcard.Present(run.Trace) {
+			b.Fatal("bt has no wildcards")
+		}
+	}
+}
+
+// BenchmarkAblationCompressionWindow compares on-the-fly loop compression
+// across window sizes: the trace-nodes metric shows the compression a
+// window buys (window 0 disables folding entirely).
+func BenchmarkAblationCompressionWindow(b *testing.B) {
+	for _, window := range []int{0, 8, 64, trace.DefaultMaxWindow} {
+		b.Run(fmt.Sprintf("window-%d", window), func(b *testing.B) {
+			var nodes int
+			for i := 0; i < b.N; i++ {
+				col := trace.NewCollector(8)
+				col.SetWindow(window)
+				app := apps.ByName("mg")
+				if _, err := mpi.Run(8, netmodel.Ideal(), app.Body(apps.NewConfig(8, apps.ClassS)),
+					mpi.WithTracer(col.TracerFor)); err != nil {
+					b.Fatal(err)
+				}
+				nodes = col.Trace().NodeCount()
+			}
+			b.ReportMetric(float64(nodes), "trace-nodes")
+		})
+	}
+}
+
+// BenchmarkAblationComputeReplay compares histogram-mean compute replay
+// (the paper's choice) against dropping compute entirely, reporting the
+// timing error each incurs.
+func BenchmarkAblationComputeReplay(b *testing.B) {
+	run, err := harness.TraceApp("bt", apps.NewConfig(16, apps.ClassW), netmodel.BlueGeneL())
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := core.Generate(run.Trace, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("histogram-mean", func(b *testing.B) {
+		var errPct float64
+		for i := 0; i < b.N; i++ {
+			res, err := harness.RunProgram(prog, 16, netmodel.BlueGeneL())
+			if err != nil {
+				b.Fatal(err)
+			}
+			errPct = 100 * abs(res.ElapsedUS-run.ElapsedUS) / run.ElapsedUS
+		}
+		b.ReportMetric(errPct, "errpct")
+	})
+	b.Run("no-compute", func(b *testing.B) {
+		stripped := harness.ScaleCompute(prog, 0)
+		var errPct float64
+		for i := 0; i < b.N; i++ {
+			res, err := harness.RunProgram(stripped, 16, netmodel.BlueGeneL())
+			if err != nil {
+				b.Fatal(err)
+			}
+			errPct = 100 * abs(res.ElapsedUS-run.ElapsedUS) / run.ElapsedUS
+		}
+		b.ReportMetric(errPct, "errpct")
+	})
+}
+
+// BenchmarkTraceCollectionOverhead compares an instrumented run against an
+// uninstrumented one — the tracing overhead a user pays.
+func BenchmarkTraceCollectionOverhead(b *testing.B) {
+	app := apps.ByName("bt")
+	cfg := apps.NewConfig(16, apps.ClassS)
+	b.Run("untraced", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := mpi.Run(16, netmodel.BlueGeneL(), app.Body(cfg)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("traced", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			col := trace.NewCollector(16)
+			if _, err := mpi.Run(16, netmodel.BlueGeneL(), app.Body(cfg),
+				mpi.WithTracer(col.TracerFor)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkGeneratePipeline measures the full generation pipeline per app.
+func BenchmarkGeneratePipeline(b *testing.B) {
+	for _, name := range []string{"bt", "lu", "sweep3d"} {
+		b.Run(name, func(b *testing.B) {
+			n := pickRanks(name, 16)
+			run, err := harness.TraceApp(name, apps.NewConfig(n, apps.ClassS), netmodel.Ideal())
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Generate(run.Trace, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkInterpreter measures coNCePTuaL execution speed (events/sec of
+// the simulated runtime).
+func BenchmarkInterpreter(b *testing.B) {
+	prog := &conceptual.Program{NumTasks: 8, Stmts: []conceptual.Stmt{
+		&conceptual.LoopStmt{Count: 100, Body: []conceptual.Stmt{
+			&conceptual.RecvStmt{Who: conceptual.AllTasks, Async: true, Size: 1024, Source: conceptual.RelRank(7)},
+			&conceptual.SendStmt{Who: conceptual.AllTasks, Async: true, Size: 1024, Dest: conceptual.RelRank(1)},
+			&conceptual.AwaitStmt{Who: conceptual.AllTasks},
+		}},
+	}}
+	for i := 0; i < b.N; i++ {
+		if _, err := conceptual.Execute(prog, 8, netmodel.BlueGeneL()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNoiseSensitivity measures generated-benchmark accuracy under
+// platform noise (the real-machine condition of the paper's evaluation);
+// the errpct metrics show accuracy at 0% and 5% noise.
+func BenchmarkNoiseSensitivity(b *testing.B) {
+	var quiet, noisy float64
+	for i := 0; i < b.N; i++ {
+		points, err := harness.NoiseSensitivity([]string{"bt"}, 16, apps.ClassW, []float64{0, 0.05})
+		if err != nil {
+			b.Fatal(err)
+		}
+		quiet, noisy = points[0].ErrPct, points[1].ErrPct
+	}
+	b.ReportMetric(quiet, "errpct-quiet")
+	b.ReportMetric(noisy, "errpct-5%noise")
+}
+
+// BenchmarkOverlapStudy measures the second Section 5.4 what-if: the payoff
+// of overlapping communication with computation, applied as an AST
+// transform on the generated benchmark.
+func BenchmarkOverlapStudy(b *testing.B) {
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		points, err := harness.OverlapStudy([]string{"bt"}, 16, apps.ClassA, netmodel.BlueGeneL())
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = points[0].SpeedupPct
+	}
+	b.ReportMetric(speedup, "speedup-pct")
+}

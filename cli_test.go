@@ -1,0 +1,64 @@
+package repro
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCLIPipeline exercises the three tools end to end exactly as the
+// README does: trace an app, generate the benchmark, run it.
+func TestCLIPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping CLI smoke test in -short mode")
+	}
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "ring.trace")
+	srcPath := filepath.Join(dir, "ring.ncptl")
+
+	runTool := func(args ...string) string {
+		t.Helper()
+		cmd := exec.Command("go", append([]string{"run"}, args...)...)
+		cmd.Env = os.Environ()
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("go run %v: %v\n%s", args, err, out)
+		}
+		return string(out)
+	}
+
+	runTool("./cmd/tracegen", "-app", "ring", "-n", "8", "-class", "S", "-o", tracePath)
+	if _, err := os.Stat(tracePath); err != nil {
+		t.Fatalf("trace not written: %v", err)
+	}
+
+	runTool("./cmd/benchgen", "-i", tracePath, "-o", srcPath)
+	src, err := os.ReadFile(srcPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(src), "FOR 100 REPETITIONS") {
+		t.Fatalf("generated source unexpected:\n%s", src)
+	}
+
+	out := runTool("./cmd/ncrun", "-model", "bluegene", srcPath)
+	if !strings.Contains(out, "total virtual time:") {
+		t.Fatalf("ncrun output unexpected:\n%s", out)
+	}
+
+	// The C backend emits compilable-looking source.
+	cout := runTool("./cmd/benchgen", "-i", tracePath, "-lang", "c")
+	if !strings.Contains(cout, "MPI_Init(&argc, &argv);") {
+		t.Fatalf("C output unexpected:\n%s", cout)
+	}
+
+	// Extrapolation through the CLI.
+	trace16 := filepath.Join(dir, "ring16.trace")
+	runTool("./cmd/tracegen", "-app", "ring", "-n", "16", "-class", "S", "-o", trace16)
+	xout := runTool("./cmd/benchgen", "-i", tracePath, "-with", trace16, "-extrapolate", "64")
+	if !strings.Contains(xout, "REQUIRE num_tasks = 64") {
+		t.Fatalf("extrapolated generation unexpected:\n%s", xout)
+	}
+}

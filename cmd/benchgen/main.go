@@ -1,0 +1,111 @@
+// Command benchgen is the paper's benchmark generator: it reads a
+// ScalaTrace-style trace and emits an executable coNCePTuaL benchmark with
+// identical communication behaviour (Section 4). Wildcard receives are
+// resolved with Algorithm 2 and split collectives aligned with Algorithm 1
+// before code generation.
+//
+// Usage:
+//
+//	benchgen [-i app.trace] [-o app.ncptl] [-lang conceptual|c]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/conceptual"
+	"repro/internal/core"
+	"repro/internal/extrap"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		in     = flag.String("i", "", "input trace file (default stdin)")
+		out    = flag.String("o", "", "output source file (default stdout)")
+		lang   = flag.String("lang", "conceptual", "target language: conceptual, c, or go")
+		scaleN = flag.Int("extrapolate", 0, "extrapolate the trace to this rank count before generating")
+		second = flag.String("with", "", "second trace at a different scale (disambiguates -extrapolate)")
+	)
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	tr, err := trace.Decode(r)
+	if err != nil {
+		fatal(err)
+	}
+	if *scaleN > 0 {
+		if *second != "" {
+			f, err := os.Open(*second)
+			if err != nil {
+				fatal(err)
+			}
+			tr2, err := trace.Decode(f)
+			f.Close()
+			if err != nil {
+				fatal(err)
+			}
+			tr, err = extrap.ExtrapolateFrom(tr, tr2, *scaleN)
+			if err != nil {
+				fatal(err)
+			}
+		} else {
+			tr, err = extrap.Extrapolate(tr, *scaleN)
+			if err != nil {
+				fatal(err)
+			}
+		}
+	}
+
+	prog, err := core.Generate(tr, &core.Options{
+		Comments: []string{fmt.Sprintf("source trace: %d ranks, %d events", tr.N, tr.TotalEvents())},
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	var src string
+	switch *lang {
+	case "conceptual":
+		src = conceptual.Print(prog)
+	case "c":
+		src = conceptual.GenerateC(prog)
+	case "go":
+		// The Go backend consumes the trace directly through the pluggable
+		// CodeGenerator interface rather than the coNCePTuaL AST.
+		src, err = core.GenerateGo(tr, nil)
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown target language %q", *lang))
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if _, err := io.WriteString(w, src); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,94 @@
+// Command ncrun parses a coNCePTuaL benchmark and executes it on the
+// simulated MPI runtime — the role the coNCePTuaL compiler plus target
+// machine play in the paper.
+//
+// Usage:
+//
+//	ncrun -n 16 [-model bluegene] [-profile] [-scale-compute 0.5] prog.ncptl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/conceptual"
+	"repro/internal/mpi"
+	"repro/internal/mpip"
+	"repro/internal/netmodel"
+)
+
+func main() {
+	var (
+		n         = flag.Int("n", 0, "number of tasks (default: the program's REQUIRE num_tasks)")
+		modelName = flag.String("model", "bluegene", "platform model (bluegene, ethernet, ideal)")
+		profile   = flag.Bool("profile", false, "print the mpiP-style profile")
+		scale     = flag.Float64("scale-compute", 1.0, "multiply all COMPUTE durations (what-if studies)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fatal(fmt.Errorf("usage: ncrun [flags] prog.ncptl"))
+	}
+
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := conceptual.Parse(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	tasks := *n
+	if tasks == 0 {
+		tasks = prog.NumTasks
+	}
+	if tasks <= 0 {
+		fatal(fmt.Errorf("task count unknown: pass -n or add REQUIRE num_tasks"))
+	}
+	model := netmodel.Preset(*modelName)
+	if model == nil {
+		fatal(fmt.Errorf("unknown model %q", *modelName))
+	}
+	if *scale != 1.0 {
+		prog = scaleCompute(prog, *scale)
+	}
+
+	prof := mpip.NewProfile()
+	res, err := conceptual.Execute(prog, tasks, model,
+		conceptual.WithMPIOptions(mpi.WithTracer(prof.TracerFor)))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("tasks: %d  platform: %s\n", tasks, model.Name)
+	fmt.Printf("total virtual time: %.3f s\n", res.ElapsedUS/1e6)
+	for _, entry := range res.Logs {
+		fmt.Printf("task %d  %s: %.1f\n", entry.Task, entry.Label, entry.Value)
+	}
+	if *profile {
+		fmt.Println(prof)
+	}
+}
+
+func scaleCompute(p *conceptual.Program, factor float64) *conceptual.Program {
+	var walk func([]conceptual.Stmt) []conceptual.Stmt
+	walk = func(stmts []conceptual.Stmt) []conceptual.Stmt {
+		out := make([]conceptual.Stmt, len(stmts))
+		for i, s := range stmts {
+			switch x := s.(type) {
+			case *conceptual.LoopStmt:
+				out[i] = &conceptual.LoopStmt{Count: x.Count, Body: walk(x.Body)}
+			case *conceptual.ComputeStmt:
+				out[i] = &conceptual.ComputeStmt{Who: x.Who, USecs: x.USecs * factor}
+			default:
+				out[i] = s
+			}
+		}
+		return out
+	}
+	return &conceptual.Program{Comments: p.Comments, NumTasks: p.NumTasks, Stmts: walk(p.Stmts)}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ncrun:", err)
+	os.Exit(1)
+}

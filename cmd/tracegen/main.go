@@ -1,0 +1,78 @@
+// Command tracegen runs a workload from the application suite on the
+// simulated MPI runtime under ScalaTrace-style collection and writes the
+// compressed communication trace — the first stage of the paper's Figure 1
+// pipeline.
+//
+// Usage:
+//
+//	tracegen -app bt -n 16 -class W [-model bluegene] [-o bt.trace] [-profile]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/apps"
+	"repro/internal/harness"
+	"repro/internal/netmodel"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		appName   = flag.String("app", "ring", "application to trace (see -list)")
+		n         = flag.Int("n", 16, "number of MPI ranks")
+		className = flag.String("class", "W", "NPB problem class (S, W, A, B, C)")
+		modelName = flag.String("model", "bluegene", "platform model (bluegene, ethernet, ideal)")
+		out       = flag.String("o", "", "output trace file (default stdout)")
+		profile   = flag.Bool("profile", false, "print the mpiP-style profile to stderr")
+		list      = flag.Bool("list", false, "list available applications and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range apps.Names() {
+			fmt.Printf("%-10s %s\n", name, apps.ByName(name).Description)
+		}
+		return
+	}
+
+	class, err := apps.ParseClass(*className)
+	if err != nil {
+		fatal(err)
+	}
+	model := netmodel.Preset(*modelName)
+	if model == nil {
+		fatal(fmt.Errorf("unknown model %q", *modelName))
+	}
+
+	run, err := harness.TraceApp(*appName, apps.NewConfig(*n, class), model)
+	if err != nil {
+		fatal(err)
+	}
+	if *profile {
+		fmt.Fprintln(os.Stderr, run.Profile)
+		fmt.Fprintf(os.Stderr, "original run time: %.3f s (virtual)\n", run.ElapsedUS/1e6)
+		fmt.Fprintf(os.Stderr, "trace: %d events compressed into %d nodes\n",
+			run.Trace.TotalEvents(), run.Trace.NodeCount())
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := trace.Encode(w, run.Trace); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

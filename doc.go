@@ -1,0 +1,12 @@
+// Package repro is a Go reproduction of "Automatic Generation of Executable
+// Communication Specifications from Parallel Applications" (Wu, Mueller,
+// Pakin; ICS 2011): a benchmark generator that converts ScalaTrace-style
+// communication traces of MPI applications into readable, editable,
+// executable coNCePTuaL benchmarks with the same communication behaviour
+// and run time.
+//
+// The implementation lives under internal/ (see DESIGN.md for the system
+// inventory), the command-line tools under cmd/, runnable walkthroughs
+// under examples/, and the benchmark harness regenerating the paper's
+// tables and figures in bench_test.go.
+package repro

@@ -1,0 +1,79 @@
+// Deadlock reproduces the paper's Figure 5: a program whose wildcard
+// receive makes it deadlock under one message ordering but complete under
+// another. Algorithm 2's sufficient deadlock detection reports the hazard
+// instead of hanging during benchmark generation.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"repro/internal/mpi"
+	"repro/internal/netmodel"
+	"repro/internal/trace"
+	"repro/internal/wildcard"
+)
+
+// figure5 is the paper's example:
+//
+//	if (rank == 1) { MPI_Recv(MPI_ANY_SOURCE); MPI_Recv(0); }
+//	if (rank == 0 || rank == 2) { MPI_Send(1); }
+//
+// If the wildcard matches rank 0's message, the second receive (from 0)
+// can never complete.
+func figure5(r *mpi.Rank) {
+	switch r.Rank() {
+	case 0:
+		// Computation delays this send in virtual time, so the traced
+		// execution's wildcard matches rank 2's earlier message and the run
+		// completes — the hazard stays invisible, as in the paper.
+		r.Compute(100)
+		r.Send(r.World(), 1, 0, 8)
+	case 2:
+		r.Send(r.World(), 1, 0, 8)
+	}
+	// A phase boundary between the producers and the consumer; both
+	// messages are in flight before rank 1 posts its wildcard receive.
+	r.Barrier(r.World())
+	if r.Rank() == 1 {
+		r.Recv(r.World(), mpi.AnySource, 0, 8)
+		r.Recv(r.World(), 0, 0, 8)
+	}
+}
+
+func main() {
+	fmt.Println("Tracing the Figure 5 program (3 ranks)...")
+	col := trace.NewCollector(3)
+	// The traced execution completes: the wildcard happens to match rank
+	// 2's message. ScalaTrace records the wildcard unresolved, so the trace
+	// still admits the deadlocking ordering.
+	if _, err := mpi.Run(3, netmodel.BlueGeneL(), figure5, mpi.WithTracer(col.TracerFor)); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("the traced execution completed normally (wildcard matched rank 2)")
+	tr := col.Trace()
+	fmt.Println("trace collected; wildcard receives present:", wildcard.Present(tr))
+	fmt.Println()
+
+	fmt.Println("Running Algorithm 2 (wildcard resolution with deadlock detection)...")
+	_, err := wildcard.Resolve(tr)
+	var de *wildcard.DeadlockError
+	switch {
+	case errors.As(err, &de):
+		fmt.Println("POTENTIAL DEADLOCK detected in the input application:")
+		for _, b := range de.Blocked {
+			fmt.Println("  -", b)
+		}
+		fmt.Println()
+		fmt.Println("As in the paper, this is a *sufficient* detection: the trace's")
+		fmt.Println("message ordering admits a schedule in which rank 1's second")
+		fmt.Println("receive (from rank 0) can never be satisfied. The generator")
+		fmt.Println("reports the hazard to the user instead of emitting a benchmark")
+		fmt.Println("that hangs.")
+	case err != nil:
+		log.Fatal(err)
+	default:
+		fmt.Println("no deadlock detected (unexpected for this example)")
+	}
+}

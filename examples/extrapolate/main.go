@@ -1,0 +1,65 @@
+// Extrapolate demonstrates the extension the paper's Section 6 calls for:
+// generating a benchmark for a rank count that was never traced, by
+// incorporating ScalaExtrap-style trace extrapolation. The ring application
+// is traced at 8 and 16 ranks; the two traces are extrapolated to 128 ranks
+// and the generated 128-task benchmark is validated against a trace actually
+// collected at 128 ranks.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/apps"
+	"repro/internal/conceptual"
+	"repro/internal/extrap"
+	"repro/internal/harness"
+	"repro/internal/netmodel"
+	"repro/internal/replay"
+	"repro/internal/stats"
+)
+
+func main() {
+	model := netmodel.BlueGeneL()
+
+	fmt.Println("Tracing the ring application at 8 and 16 ranks...")
+	small, err := harness.TraceApp("ring", apps.NewConfig(8, apps.ClassS), model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	medium, err := harness.TraceApp("ring", apps.NewConfig(16, apps.ClassS), model)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const target = 128
+	fmt.Printf("Extrapolating to %d ranks (never traced)...\n\n", target)
+	big, err := extrap.ExtrapolateFrom(small.Trace, medium.Trace, target)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	bench, err := harness.GenerateAndRun(big, model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Generated 128-task benchmark (from 8- and 16-rank traces):")
+	fmt.Println(conceptual.Print(bench.Program))
+
+	// Validate against reality: trace the application at 128 ranks and
+	// compare both the communication and the timing.
+	fmt.Println("Validation against an actual 128-rank run:")
+	direct, err := harness.TraceApp("ring", apps.NewConfig(target, apps.ClassS), model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := replay.Equivalent(big, direct.Trace); err != nil {
+		fmt.Println("  communication differs:", err)
+	} else {
+		fmt.Println("  communication: event-for-event identical to the real 128-rank trace")
+	}
+	fmt.Printf("  actual 128-rank run time:        %8.3f ms\n", direct.ElapsedUS/1e3)
+	fmt.Printf("  extrapolated benchmark run time: %8.3f ms\n", bench.ElapsedUS/1e3)
+	fmt.Printf("  timing error: %.2f%%\n",
+		stats.AbsPercentError(bench.ElapsedUS, direct.ElapsedUS))
+}

@@ -1,0 +1,312 @@
+// Package align implements Algorithm 1 of the paper: combining per-node
+// collective operations recorded at different call sites into single RSDs
+// that name the complete participant set, so the benchmark generator can
+// emit one statically-scoped collective statement (Figure 3's hoisting).
+//
+// The algorithm walks the compressed trace with one traversal context
+// (cursor) per rank. Non-collective events of the running rank are appended
+// to the output queue; when the running rank reaches a collective, its
+// traversal stops until every other member of the communicator has arrived
+// at the same collective, at which point a single merged RSD is emitted and
+// traversal resumes at the communicator's first member. The output queue is
+// recompressed on the fly, so the aligned trace remains scalable in length
+// (the paper's guarantee 3).
+package align
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+	"repro/internal/taskset"
+	"repro/internal/trace"
+)
+
+// Needed performs the paper's O(r) pre-check: it scans the compressed trace
+// (not the expanded events) for collective RSDs whose recorded participant
+// set is a proper subset of their communicator — the signature of a
+// collective split across call sites or behaviour groups.
+func Needed(t *trace.Trace) bool {
+	needed := false
+	for _, g := range t.Groups {
+		walkNodes(g.Seq, func(r *trace.RSD) {
+			if !r.Op.IsCollective() {
+				return
+			}
+			comm := t.CommGroup(r.CommID)
+			participants := comm
+			if r.Op == mpi.OpCommSplit && r.NewCommID != 0 {
+				// Split leaves legitimately carry only their color's members.
+				participants = r.Group
+			}
+			if r.Ranks.Size() < len(participants) {
+				needed = true
+			}
+		})
+	}
+	return needed
+}
+
+func walkNodes(seq []trace.Node, f func(*trace.RSD)) {
+	for _, n := range seq {
+		switch x := n.(type) {
+		case *trace.RSD:
+			f(x)
+		case *trace.Loop:
+			walkNodes(x.Body, f)
+		}
+	}
+}
+
+// pendingColl tracks one in-progress collective rendezvous on a
+// communicator.
+type pendingColl struct {
+	arrived map[int]*trace.RSD // world rank -> its RSD
+	means   map[int]float64    // world rank -> its per-instance compute mean
+}
+
+// Align runs Algorithm 1 and returns a new trace in global-queue form: a
+// single group covering all ranks whose sequence interleaves per-rank
+// point-to-point runs with full-participant collective RSDs, preserving each
+// rank's event order. It returns an error when the rendezvous cannot
+// complete, which indicates mismatched collectives in the input application.
+func Align(t *trace.Trace) (*trace.Trace, error) {
+	n := t.N
+	cursors := make([]*trace.Cursor, n)
+	for r := 0; r < n; r++ {
+		g := t.GroupOf(r)
+		if g == nil {
+			return nil, fmt.Errorf("align: rank %d missing from trace", r)
+		}
+		cursors[r] = trace.NewCursor(g.Seq, r)
+	}
+
+	window := trace.DefaultMaxWindow
+	if w := 8*n + 32; w > window {
+		window = w
+	}
+	out := trace.NewGlobalBuilder(window)
+	// Non-collective runs are buffered per rank and re-merged across ranks
+	// when the next collective closes the segment; this keeps the aligned
+	// queue's point-to-point RSDs merged (rank-relative peers preserved)
+	// instead of exploding into per-rank leaves.
+	segments := make([]*trace.Builder, n)
+	for i := range segments {
+		segments[i] = trace.NewBuilder()
+	}
+	flushSegments := func() {
+		seqs := make([][]trace.Node, n)
+		empty := true
+		for i := range segments {
+			seqs[i] = segments[i].Seq()
+			if len(seqs[i]) > 0 {
+				empty = false
+			}
+		}
+		if !empty {
+			merged := trace.MergeRankSeqs(n, t.Comms, seqs)
+			for _, g := range merged.Groups {
+				for _, node := range g.Seq {
+					out.Append(node)
+				}
+			}
+		}
+		for i := range segments {
+			segments[i] = trace.NewBuilder()
+		}
+	}
+
+	pending := make(map[int]*pendingColl)
+	visitedSinceProgress := make(map[int]bool)
+	active := 0
+
+	for {
+		cur := cursors[active]
+		if cur.Done() {
+			next := -1
+			for r := 0; r < n; r++ {
+				if !cursors[r].Done() {
+					next = r
+					break
+				}
+			}
+			if next == -1 {
+				break // every rank fully traversed
+			}
+			if visitedSinceProgress[next] {
+				return nil, fmt.Errorf("align: no progress possible; mismatched collectives in input trace")
+			}
+			visitedSinceProgress[next] = true
+			active = next
+			continue
+		}
+
+		rsd := cur.Cur()
+		if !rsd.Op.IsCollective() {
+			mean := rsd.ComputeMeanAt(cur.InnermostIter() == 0)
+			segments[active].Append(emittedLeaf(t, rsd, active, taskset.Of(active), mean))
+			cur.Advance()
+			clear(visitedSinceProgress)
+			continue
+		}
+
+		// Collective: rendezvous on the communicator.
+		comm := t.CommGroup(rsd.CommID)
+		if len(comm) == 0 {
+			return nil, fmt.Errorf("align: rank %d references unknown comm %d", active, rsd.CommID)
+		}
+		pc := pending[rsd.CommID]
+		if pc == nil {
+			pc = &pendingColl{arrived: make(map[int]*trace.RSD), means: make(map[int]float64)}
+			pending[rsd.CommID] = pc
+		}
+		if first, ok := firstArrival(pc, comm); ok && first.Op != rsd.Op {
+			return nil, fmt.Errorf("align: collective mismatch on comm %d: %v vs %v",
+				rsd.CommID, first.Op, rsd.Op)
+		}
+		pc.arrived[active] = rsd
+		pc.means[active] = rsd.ComputeMeanAt(cur.InnermostIter() == 0)
+
+		if len(pc.arrived) == len(comm) {
+			// Everyone arrived: close the current point-to-point segment,
+			// emit the merged collective(s) and release the members.
+			flushSegments()
+			emitCollective(t, out, pc, comm)
+			delete(pending, rsd.CommID)
+			for _, member := range comm {
+				cursors[member].Advance()
+			}
+			active = comm[0]
+			clear(visitedSinceProgress)
+			continue
+		}
+		// Switch traversal to the next member that has not arrived.
+		next := -1
+		for _, member := range comm {
+			if _, ok := pc.arrived[member]; !ok {
+				next = member
+				break
+			}
+		}
+		if visitedSinceProgress[next] {
+			return nil, fmt.Errorf("align: no progress possible; rank %d blocked on %v over comm %d",
+				next, rsd.Op, rsd.CommID)
+		}
+		visitedSinceProgress[next] = true
+		active = next
+	}
+
+	if len(pending) != 0 {
+		return nil, fmt.Errorf("align: %d collectives left incomplete", len(pending))
+	}
+	flushSegments()
+
+	all := taskset.Range(0, n-1)
+	aligned := &trace.Trace{
+		N:      n,
+		Comms:  copyComms(t.Comms),
+		Groups: []trace.Group{{Ranks: all, Seq: out.Seq()}},
+	}
+	return aligned, nil
+}
+
+func firstArrival(pc *pendingColl, comm []int) (*trace.RSD, bool) {
+	for _, m := range comm {
+		if r, ok := pc.arrived[m]; ok {
+			return r, true
+		}
+	}
+	return nil, false
+}
+
+// emitCollective appends the merged collective RSD(s). CommSplit/CommDup
+// emit one leaf per created communicator (partitioned by NewCommID) so the
+// new groups' memberships survive; all other collectives emit a single leaf
+// covering the whole communicator.
+func emitCollective(t *trace.Trace, out *trace.Builder, pc *pendingColl, comm []int) {
+	sample, count := 0.0, 0
+	for _, m := range pc.means {
+		sample += m
+		count++
+	}
+	if count > 0 {
+		sample /= float64(count)
+	}
+	first, _ := firstArrival(pc, comm)
+	if first.Op == mpi.OpCommSplit || first.Op == mpi.OpCommDup {
+		// Partition arrivals by the communicator they created.
+		seen := map[int]bool{}
+		for _, m := range comm {
+			r, ok := pc.arrived[m]
+			if !ok || seen[r.NewCommID] {
+				continue
+			}
+			seen[r.NewCommID] = true
+			members := taskset.Empty
+			for _, m2 := range comm {
+				if r2, ok := pc.arrived[m2]; ok && r2.NewCommID == r.NewCommID {
+					members = members.Add(m2)
+				}
+			}
+			out.Append(emittedLeaf(t, r, m, members, sample))
+		}
+		return
+	}
+	leaf := emittedLeaf(t, first, comm[0], taskset.Of(comm...), sample)
+	// When per-rank contributions differ (Gatherv/Allgatherv-style), record
+	// the average size plus the per-member contribution vector, matching
+	// Table 1's "REDUCE with averaged message size" substitution downstream.
+	uniform := true
+	totalSize := 0
+	perMember := make([]int, 0, len(comm))
+	for _, m := range comm {
+		r := pc.arrived[m]
+		perMember = append(perMember, r.Size)
+		totalSize += r.Size
+		if r.Size != first.Size {
+			uniform = false
+		}
+	}
+	if !uniform {
+		leaf.Size = totalSize / len(comm)
+		leaf.Counts = perMember
+	}
+	out.Append(leaf)
+}
+
+// emittedLeaf clones src for the given participant(s) with a single pooled
+// compute-time sample (the source's mean). Using the mean keeps the aligned
+// trace's replayed timing identical on average while avoiding multiplying
+// histogram populations through re-compression. Irregular (vector) peers
+// are resolved to the participant's concrete peer; the segment re-merge
+// regeneralizes them.
+func emittedLeaf(t *trace.Trace, src *trace.RSD, rank int, ranks taskset.Set, computeMean float64) *trace.RSD {
+	peer := src.Peer
+	if peer.Kind == trace.ParamVec {
+		peer = trace.AbsParam(src.PeerFor(rank, t))
+	}
+	c := &trace.RSD{
+		Op:        src.Op,
+		Site:      src.Site,
+		Ranks:     ranks,
+		CommID:    src.CommID,
+		CommSize:  src.CommSize,
+		Peer:      peer,
+		Wildcard:  src.Wildcard,
+		Tag:       src.Tag,
+		Size:      src.Size,
+		Counts:    append([]int(nil), src.Counts...),
+		Root:      src.Root,
+		Group:     append([]int(nil), src.Group...),
+		NewCommID: src.NewCommID,
+	}
+	c.SetComputeSample(computeMean)
+	return c
+}
+
+func copyComms(in map[int][]int) map[int][]int {
+	out := make(map[int][]int, len(in))
+	for id, g := range in {
+		out[id] = append([]int(nil), g...)
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package apps
+
+import "math"
+
+// Grid2D is a logical 2-D process grid with row-major rank numbering, the
+// decomposition used by BT, SP, CG, LU and Sweep3D.
+type Grid2D struct {
+	Rows, Cols int
+}
+
+// NewGrid2D factors n into the most square grid possible. ok is false when
+// n cannot be arranged (n <= 0).
+func NewGrid2D(n int) (g Grid2D, ok bool) {
+	if n <= 0 {
+		return Grid2D{}, false
+	}
+	best := 1
+	for r := 1; r*r <= n; r++ {
+		if n%r == 0 {
+			best = r
+		}
+	}
+	return Grid2D{Rows: best, Cols: n / best}, true
+}
+
+// SquareGrid returns the q x q grid for n = q^2, or ok=false.
+func SquareGrid(n int) (Grid2D, bool) {
+	q := int(math.Round(math.Sqrt(float64(n))))
+	if q*q != n {
+		return Grid2D{}, false
+	}
+	return Grid2D{Rows: q, Cols: q}, true
+}
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// Coords returns the (row, col) of a rank.
+func (g Grid2D) Coords(rank int) (row, col int) {
+	return rank / g.Cols, rank % g.Cols
+}
+
+// Rank returns the rank at (row, col).
+func (g Grid2D) Rank(row, col int) int { return row*g.Cols + col }
+
+// Size returns the number of ranks in the grid.
+func (g Grid2D) Size() int { return g.Rows * g.Cols }
+
+// North returns the neighbor above, or -1 at the boundary.
+func (g Grid2D) North(rank int) int {
+	row, col := g.Coords(rank)
+	if row == 0 {
+		return -1
+	}
+	return g.Rank(row-1, col)
+}
+
+// South returns the neighbor below, or -1 at the boundary.
+func (g Grid2D) South(rank int) int {
+	row, col := g.Coords(rank)
+	if row == g.Rows-1 {
+		return -1
+	}
+	return g.Rank(row+1, col)
+}
+
+// West returns the left neighbor, or -1 at the boundary.
+func (g Grid2D) West(rank int) int {
+	row, col := g.Coords(rank)
+	if col == 0 {
+		return -1
+	}
+	return g.Rank(row, col-1)
+}
+
+// East returns the right neighbor, or -1 at the boundary.
+func (g Grid2D) East(rank int) int {
+	row, col := g.Coords(rank)
+	if col == g.Cols-1 {
+		return -1
+	}
+	return g.Rank(row, col+1)
+}
+
+// NorthWrap returns the neighbor above with torus wraparound.
+func (g Grid2D) NorthWrap(rank int) int {
+	row, col := g.Coords(rank)
+	return g.Rank((row+g.Rows-1)%g.Rows, col)
+}
+
+// SouthWrap returns the neighbor below with torus wraparound.
+func (g Grid2D) SouthWrap(rank int) int {
+	row, col := g.Coords(rank)
+	return g.Rank((row+1)%g.Rows, col)
+}
+
+// WestWrap returns the left neighbor with torus wraparound.
+func (g Grid2D) WestWrap(rank int) int {
+	row, col := g.Coords(rank)
+	return g.Rank(row, (col+g.Cols-1)%g.Cols)
+}
+
+// EastWrap returns the right neighbor with torus wraparound.
+func (g Grid2D) EastWrap(rank int) int {
+	row, col := g.Coords(rank)
+	return g.Rank(row, (col+1)%g.Cols)
+}

@@ -1,0 +1,346 @@
+// Package conceptual implements the reproduction's coNCePTuaL: a
+// domain-specific language for expressing communication benchmarks with an
+// English-like grammar (Pakin, TPDS 2007). The package provides the AST, a
+// pretty-printer emitting the readable source form, a parser accepting that
+// form back (so generated benchmarks can be edited and re-run), an
+// interpreter that executes programs on the simulated MPI runtime — playing
+// the role of the coNCePTuaL compiler's C+MPI backend — and a C+MPI source
+// emitter for inspection.
+package conceptual
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/taskset"
+)
+
+// Program is a complete coNCePTuaL benchmark.
+type Program struct {
+	// Comments are emitted at the top of the source, one per line.
+	Comments []string
+	// NumTasks is the task count the program was generated for. The
+	// interpreter can run a program on any task count; NumTasks documents
+	// the traced configuration and grounds "ALL TASKS" at parse time.
+	NumTasks int
+	Stmts    []Stmt
+}
+
+// Stmt is one coNCePTuaL statement.
+type Stmt interface {
+	stmt()
+}
+
+// SelKind classifies task selectors.
+type SelKind int
+
+// Task-selector kinds, mirroring taskset.PredicateKind.
+const (
+	SelAll SelKind = iota
+	SelOne
+	SelRange
+	SelStride
+	SelEnum
+)
+
+// TaskSel selects the tasks executing a statement: "ALL TASKS t",
+// "TASK 3", or "TASKS t SUCH THAT <predicate>".
+type TaskSel struct {
+	Kind SelKind
+	// Value is the singleton task (SelOne).
+	Value int
+	// Lo and Hi bound SelRange (inclusive).
+	Lo, Hi int
+	// Stride and Offset define SelStride: t MOD Stride = Offset.
+	Stride, Offset int
+	// Enum lists SelEnum members.
+	Enum []int
+}
+
+// AllTasks selects every task.
+var AllTasks = TaskSel{Kind: SelAll}
+
+// OneTask selects a single task.
+func OneTask(t int) TaskSel { return TaskSel{Kind: SelOne, Value: t} }
+
+// SelFromSet derives the most readable selector for a concrete rank set
+// within an n-task world.
+func SelFromSet(s taskset.Set, n int) TaskSel {
+	p := s.Describe(n)
+	switch p.Kind {
+	case taskset.KindAll:
+		return AllTasks
+	case taskset.KindSingleton:
+		return OneTask(p.Value)
+	case taskset.KindRange:
+		return TaskSel{Kind: SelRange, Lo: p.Lo, Hi: p.Hi}
+	case taskset.KindStride:
+		return TaskSel{Kind: SelStride, Stride: p.Stride, Offset: p.Offset}
+	default:
+		return TaskSel{Kind: SelEnum, Enum: s.Members()}
+	}
+}
+
+// Members returns the selected tasks in an n-task execution.
+func (s TaskSel) Members(n int) []int {
+	switch s.Kind {
+	case SelAll:
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	case SelOne:
+		if s.Value < n {
+			return []int{s.Value}
+		}
+		return nil
+	case SelRange:
+		var out []int
+		for t := s.Lo; t <= s.Hi && t < n; t++ {
+			if t >= 0 {
+				out = append(out, t)
+			}
+		}
+		return out
+	case SelStride:
+		var out []int
+		for t := 0; t < n; t++ {
+			if s.Stride > 0 && t%s.Stride == s.Offset {
+				out = append(out, t)
+			}
+		}
+		return out
+	default:
+		var out []int
+		for _, t := range s.Enum {
+			if t >= 0 && t < n {
+				out = append(out, t)
+			}
+		}
+		sort.Ints(out)
+		return out
+	}
+}
+
+// Contains reports whether task t executes statements guarded by s in an
+// n-task execution.
+func (s TaskSel) Contains(t, n int) bool {
+	if t < 0 || t >= n {
+		return false
+	}
+	switch s.Kind {
+	case SelAll:
+		return true
+	case SelOne:
+		return t == s.Value
+	case SelRange:
+		return t >= s.Lo && t <= s.Hi
+	case SelStride:
+		return s.Stride > 0 && t%s.Stride == s.Offset
+	default:
+		for _, m := range s.Enum {
+			if m == t {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// Set returns the selector's membership as a taskset.
+func (s TaskSel) Set(n int) taskset.Set { return taskset.Of(s.Members(n)...) }
+
+// RankKind classifies peer-rank expressions.
+type RankKind int
+
+const (
+	// RankAbs is a literal task number ("TASK 3").
+	RankAbs RankKind = iota
+	// RankRel is an offset from the executing task, modulo the task count
+	// ("TASK (t+1) MOD num_tasks").
+	RankRel
+)
+
+// RankExpr is the peer of a send or receive.
+type RankExpr struct {
+	Kind  RankKind
+	Value int
+}
+
+// AbsRank returns a literal peer expression.
+func AbsRank(v int) RankExpr { return RankExpr{Kind: RankAbs, Value: v} }
+
+// RelRank returns a self-relative peer expression.
+func RelRank(off int) RankExpr { return RankExpr{Kind: RankRel, Value: off} }
+
+// Eval computes the concrete peer for executing task t of n.
+func (r RankExpr) Eval(t, n int) int {
+	if r.Kind == RankAbs {
+		return r.Value
+	}
+	if n <= 0 {
+		return r.Value
+	}
+	v := (t + r.Value) % n
+	if v < 0 {
+		v += n
+	}
+	return v
+}
+
+// LoopStmt repeats its body: "FOR <Count> REPETITIONS { ... }".
+type LoopStmt struct {
+	Count int
+	Body  []Stmt
+}
+
+// SendStmt sends a message: "<Who> [ASYNCHRONOUSLY] SEND A <Size> BYTE
+// MESSAGE TO <Dest>".
+type SendStmt struct {
+	Who   TaskSel
+	Async bool
+	Size  int
+	Dest  RankExpr
+}
+
+// RecvStmt posts an explicit receive: "<Who> [ASYNCHRONOUSLY] RECEIVE A
+// <Size> BYTE MESSAGE FROM <Source>".
+type RecvStmt struct {
+	Who    TaskSel
+	Async  bool
+	Size   int
+	Source RankExpr
+}
+
+// AwaitStmt completes outstanding asynchronous operations:
+// "<Who> AWAIT COMPLETION".
+type AwaitStmt struct {
+	Who TaskSel
+}
+
+// SyncStmt is a barrier: "<Who> SYNCHRONIZE".
+type SyncStmt struct {
+	Who TaskSel
+}
+
+// ReduceStmt reduces data from Srcs to Dsts: "<Srcs> REDUCE A <Size> BYTE
+// MESSAGE TO <Dsts>". Srcs == Dsts expresses an allreduce.
+type ReduceStmt struct {
+	Srcs TaskSel
+	Dsts TaskSel
+	Size int
+}
+
+// MulticastStmt fans data out from Srcs to Dsts: "<Srcs> MULTICAST A <Size>
+// BYTE MESSAGE TO <Dsts>". Multiple sources express many-to-many patterns
+// (Table 1's Alltoall substitution).
+type MulticastStmt struct {
+	Srcs TaskSel
+	Dsts TaskSel
+	Size int
+}
+
+// ComputeStmt spins for a duration: "<Who> COMPUTE FOR <USecs>
+// MICROSECONDS".
+type ComputeStmt struct {
+	Who   TaskSel
+	USecs float64
+}
+
+// ResetStmt resets the executing tasks' timers: "<Who> RESET THEIR
+// COUNTERS".
+type ResetStmt struct {
+	Who TaskSel
+}
+
+// LogStmt records elapsed time: `<Who> LOG THE MEDIAN OF elapsed_usecs AS
+// "<Label>"`.
+type LogStmt struct {
+	Who   TaskSel
+	Label string
+}
+
+func (*LoopStmt) stmt()      {}
+func (*SendStmt) stmt()      {}
+func (*RecvStmt) stmt()      {}
+func (*AwaitStmt) stmt()     {}
+func (*SyncStmt) stmt()      {}
+func (*ReduceStmt) stmt()    {}
+func (*MulticastStmt) stmt() {}
+func (*ComputeStmt) stmt()   {}
+func (*ResetStmt) stmt()     {}
+func (*LogStmt) stmt()       {}
+
+// StmtCount returns the total number of statements, counting loop bodies
+// once (the static program size — the paper's generated-code-size metric).
+func (p *Program) StmtCount() int { return countStmts(p.Stmts) }
+
+func countStmts(stmts []Stmt) int {
+	n := 0
+	for _, s := range stmts {
+		n++
+		if lp, ok := s.(*LoopStmt); ok {
+			n += countStmts(lp.Body)
+		}
+	}
+	return n
+}
+
+// Equal reports structural equality of two selectors.
+func (s TaskSel) Equal(o TaskSel) bool {
+	if s.Kind != o.Kind {
+		return false
+	}
+	switch s.Kind {
+	case SelAll:
+		return true
+	case SelOne:
+		return s.Value == o.Value
+	case SelRange:
+		return s.Lo == o.Lo && s.Hi == o.Hi
+	case SelStride:
+		return s.Stride == o.Stride && s.Offset == o.Offset
+	default:
+		if len(s.Enum) != len(o.Enum) {
+			return false
+		}
+		for i := range s.Enum {
+			if s.Enum[i] != o.Enum[i] {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+func (s TaskSel) String() string {
+	switch s.Kind {
+	case SelAll:
+		return "ALL TASKS t"
+	case SelOne:
+		return fmt.Sprintf("TASK %d", s.Value)
+	case SelRange:
+		return fmt.Sprintf(`TASKS t SUCH THAT t >= %d /\ t <= %d`, s.Lo, s.Hi)
+	case SelStride:
+		return fmt.Sprintf("TASKS t SUCH THAT t MOD %d = %d", s.Stride, s.Offset)
+	default:
+		parts := make([]string, len(s.Enum))
+		for i, m := range s.Enum {
+			parts[i] = fmt.Sprint(m)
+		}
+		return fmt.Sprintf("TASKS t SUCH THAT t IS IN {%s}", strings.Join(parts, ", "))
+	}
+}
+
+func (r RankExpr) String() string {
+	switch {
+	case r.Kind == RankAbs:
+		return fmt.Sprintf("TASK %d", r.Value)
+	case r.Value == 0:
+		return "TASK t"
+	default:
+		return fmt.Sprintf("TASK (t+%d) MOD num_tasks", r.Value)
+	}
+}

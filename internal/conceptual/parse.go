@@ -1,0 +1,558 @@
+package conceptual
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse reads a coNCePTuaL program in the form emitted by Print. It exists
+// so that generated benchmarks are not merely human-readable but also
+// human-editable: edit the text, parse, re-run.
+func Parse(src string) (*Program, error) {
+	p := &parser{lex: newLexer(src)}
+	prog := &Program{}
+	for {
+		tok := p.peek()
+		switch {
+		case tok.kind == tokComment:
+			prog.Comments = append(prog.Comments, tok.text)
+			p.next()
+		case tok.kind == tokWord && tok.text == "REQUIRE":
+			p.next()
+			if err := p.expectWord("num_tasks"); err != nil {
+				return nil, err
+			}
+			if err := p.expectSym("="); err != nil {
+				return nil, err
+			}
+			n, err := p.expectInt()
+			if err != nil {
+				return nil, err
+			}
+			prog.NumTasks = n
+		default:
+			goto body
+		}
+	}
+body:
+	stmts, err := p.parseStmts(false)
+	if err != nil {
+		return nil, err
+	}
+	if tok := p.peek(); tok.kind != tokEOF {
+		return nil, p.errf("unexpected trailing input %q", tok.text)
+	}
+	prog.Stmts = stmts
+	return prog, nil
+}
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokWord
+	tokInt
+	tokFloat
+	tokString
+	tokSym
+	tokComment
+)
+
+type token struct {
+	kind tokKind
+	text string
+	ival int
+	fval float64
+	line int
+}
+
+type lexer struct {
+	toks []token
+	pos  int
+}
+
+func newLexer(src string) *lexer {
+	var toks []token
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '#':
+			j := i
+			for j < len(src) && src[j] != '\n' {
+				j++
+			}
+			toks = append(toks, token{kind: tokComment, text: strings.TrimSpace(src[i+1 : j]), line: line})
+			i = j
+		case c == '"':
+			j := i + 1
+			for j < len(src) && src[j] != '"' {
+				if src[j] == '\\' {
+					j++
+				}
+				j++
+			}
+			raw := src[i:min(j+1, len(src))]
+			unq, err := strconv.Unquote(raw)
+			if err != nil {
+				unq = strings.Trim(raw, `"`)
+			}
+			toks = append(toks, token{kind: tokString, text: unq, line: line})
+			i = j + 1
+		case unicode.IsDigit(rune(c)):
+			j := i
+			isFloat := false
+			for j < len(src) && (unicode.IsDigit(rune(src[j])) || src[j] == '.') {
+				if src[j] == '.' {
+					isFloat = true
+				}
+				j++
+			}
+			text := src[i:j]
+			if isFloat {
+				f, _ := strconv.ParseFloat(text, 64)
+				toks = append(toks, token{kind: tokFloat, text: text, fval: f, line: line})
+			} else {
+				v, _ := strconv.Atoi(text)
+				toks = append(toks, token{kind: tokInt, text: text, ival: v, line: line})
+			}
+			i = j
+		case isWordChar(c):
+			j := i
+			for j < len(src) && isWordChar(src[j]) {
+				j++
+			}
+			toks = append(toks, token{kind: tokWord, text: src[i:j], line: line})
+			i = j
+		case c == '/' && i+1 < len(src) && src[i+1] == '\\':
+			toks = append(toks, token{kind: tokSym, text: `/\`, line: line})
+			i += 2
+		case c == '>' && i+1 < len(src) && src[i+1] == '=':
+			toks = append(toks, token{kind: tokSym, text: ">=", line: line})
+			i += 2
+		case c == '<' && i+1 < len(src) && src[i+1] == '=':
+			toks = append(toks, token{kind: tokSym, text: "<=", line: line})
+			i += 2
+		default:
+			toks = append(toks, token{kind: tokSym, text: string(c), line: line})
+			i++
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, line: line})
+	return &lexer{toks: toks}
+}
+
+func isWordChar(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+type parser struct {
+	lex *lexer
+}
+
+func (p *parser) peek() token { return p.lex.toks[p.lex.pos] }
+
+func (p *parser) next() token {
+	t := p.lex.toks[p.lex.pos]
+	if t.kind != tokEOF {
+		p.lex.pos++
+	}
+	return t
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("conceptual: line %d: %s", p.peek().line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expectWord(w string) error {
+	t := p.next()
+	if t.kind != tokWord || t.text != w {
+		return p.errf("expected %q, found %q", w, t.text)
+	}
+	return nil
+}
+
+func (p *parser) expectSym(s string) error {
+	t := p.next()
+	if t.kind != tokSym || t.text != s {
+		return p.errf("expected %q, found %q", s, t.text)
+	}
+	return nil
+}
+
+func (p *parser) expectInt() (int, error) {
+	t := p.next()
+	if t.kind != tokInt {
+		return 0, p.errf("expected integer, found %q", t.text)
+	}
+	return t.ival, nil
+}
+
+func (p *parser) acceptWord(w string) bool {
+	if t := p.peek(); t.kind == tokWord && t.text == w {
+		p.next()
+		return true
+	}
+	return false
+}
+
+// parseStmts parses THEN-separated statements until EOF or a closing brace
+// (when inBlock).
+func (p *parser) parseStmts(inBlock bool) ([]Stmt, error) {
+	var stmts []Stmt
+	for {
+		for p.peek().kind == tokComment {
+			p.next()
+		}
+		tok := p.peek()
+		if tok.kind == tokEOF || (inBlock && tok.kind == tokSym && tok.text == "}") {
+			return stmts, nil
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+		p.acceptWord("THEN")
+	}
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	tok := p.peek()
+	if tok.kind == tokWord && tok.text == "FOR" {
+		p.next()
+		count, err := p.expectInt()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectWord("REPETITIONS"); err != nil {
+			return nil, err
+		}
+		if err := p.expectSym("{"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmts(true)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSym("}"); err != nil {
+			return nil, err
+		}
+		return &LoopStmt{Count: count, Body: body}, nil
+	}
+	who, err := p.parseSel()
+	if err != nil {
+		return nil, err
+	}
+	return p.parseVerb(who)
+}
+
+// parseSel parses "ALL TASKS t", "TASK 3", "TASKS t SUCH THAT ...", and the
+// destination form "ALL TASKS".
+func (p *parser) parseSel() (TaskSel, error) {
+	switch {
+	case p.acceptWord("ALL"):
+		if err := p.expectWord("TASKS"); err != nil {
+			return TaskSel{}, err
+		}
+		// Optional task variable.
+		if t := p.peek(); t.kind == tokWord && isTaskVar(t.text) {
+			p.next()
+		}
+		return AllTasks, nil
+	case p.acceptWord("TASK"):
+		v, err := p.expectInt()
+		if err != nil {
+			return TaskSel{}, err
+		}
+		return OneTask(v), nil
+	case p.acceptWord("TASKS"):
+		// "TASKS t SUCH THAT <predicate>"
+		v := p.next()
+		if v.kind != tokWord || !isTaskVar(v.text) {
+			return TaskSel{}, p.errf("expected task variable, found %q", v.text)
+		}
+		if err := p.expectWord("SUCH"); err != nil {
+			return TaskSel{}, err
+		}
+		if err := p.expectWord("THAT"); err != nil {
+			return TaskSel{}, err
+		}
+		return p.parsePredicate(v.text)
+	default:
+		return TaskSel{}, p.errf("expected task selector, found %q", p.peek().text)
+	}
+}
+
+func isTaskVar(s string) bool {
+	return len(s) >= 1 && unicode.IsLower(rune(s[0])) && s != "num_tasks" && s != "elapsed_usecs"
+}
+
+func (p *parser) parsePredicate(varName string) (TaskSel, error) {
+	if err := p.expectWord(varName); err != nil {
+		return TaskSel{}, err
+	}
+	switch tok := p.next(); {
+	case tok.kind == tokSym && tok.text == ">=":
+		lo, err := p.expectInt()
+		if err != nil {
+			return TaskSel{}, err
+		}
+		if err := p.expectSym(`/\`); err != nil {
+			return TaskSel{}, err
+		}
+		if err := p.expectWord(varName); err != nil {
+			return TaskSel{}, err
+		}
+		if err := p.expectSym("<="); err != nil {
+			return TaskSel{}, err
+		}
+		hi, err := p.expectInt()
+		if err != nil {
+			return TaskSel{}, err
+		}
+		return TaskSel{Kind: SelRange, Lo: lo, Hi: hi}, nil
+	case tok.kind == tokWord && tok.text == "MOD":
+		stride, err := p.expectInt()
+		if err != nil {
+			return TaskSel{}, err
+		}
+		if err := p.expectSym("="); err != nil {
+			return TaskSel{}, err
+		}
+		off, err := p.expectInt()
+		if err != nil {
+			return TaskSel{}, err
+		}
+		return TaskSel{Kind: SelStride, Stride: stride, Offset: off}, nil
+	case tok.kind == tokWord && tok.text == "IS":
+		if err := p.expectWord("IN"); err != nil {
+			return TaskSel{}, err
+		}
+		if err := p.expectSym("{"); err != nil {
+			return TaskSel{}, err
+		}
+		var members []int
+		for {
+			v, err := p.expectInt()
+			if err != nil {
+				return TaskSel{}, err
+			}
+			members = append(members, v)
+			if t := p.peek(); t.kind == tokSym && t.text == "," {
+				p.next()
+				continue
+			}
+			break
+		}
+		if err := p.expectSym("}"); err != nil {
+			return TaskSel{}, err
+		}
+		return TaskSel{Kind: SelEnum, Enum: members}, nil
+	default:
+		return TaskSel{}, p.errf("unsupported predicate starting with %q", tok.text)
+	}
+}
+
+// parseRankExpr parses "TASK 3", "TASK t", "TASK (t+1) MOD num_tasks".
+func (p *parser) parseRankExpr() (RankExpr, error) {
+	if err := p.expectWord("TASK"); err != nil {
+		return RankExpr{}, err
+	}
+	tok := p.peek()
+	switch {
+	case tok.kind == tokInt:
+		p.next()
+		return AbsRank(tok.ival), nil
+	case tok.kind == tokWord && isTaskVar(tok.text):
+		p.next()
+		return RelRank(0), nil
+	case tok.kind == tokSym && tok.text == "(":
+		p.next()
+		v := p.next()
+		if v.kind != tokWord || !isTaskVar(v.text) {
+			return RankExpr{}, p.errf("expected task variable in rank expression, found %q", v.text)
+		}
+		if err := p.expectSym("+"); err != nil {
+			return RankExpr{}, err
+		}
+		off, err := p.expectInt()
+		if err != nil {
+			return RankExpr{}, err
+		}
+		if err := p.expectSym(")"); err != nil {
+			return RankExpr{}, err
+		}
+		if err := p.expectWord("MOD"); err != nil {
+			return RankExpr{}, err
+		}
+		if err := p.expectWord("num_tasks"); err != nil {
+			return RankExpr{}, err
+		}
+		return RelRank(off), nil
+	default:
+		return RankExpr{}, p.errf("expected rank expression, found %q", tok.text)
+	}
+}
+
+// parseSize parses "<n> BYTE|KILOBYTE|MEGABYTE MESSAGE".
+func (p *parser) parseSize() (int, error) {
+	n, err := p.expectInt()
+	if err != nil {
+		return 0, err
+	}
+	unit := p.next()
+	if unit.kind != tokWord {
+		return 0, p.errf("expected size unit, found %q", unit.text)
+	}
+	mult := 1
+	switch unit.text {
+	case "BYTE", "BYTES":
+	case "KILOBYTE", "KILOBYTES":
+		mult = 1 << 10
+	case "MEGABYTE", "MEGABYTES":
+		mult = 1 << 20
+	default:
+		return 0, p.errf("unknown size unit %q", unit.text)
+	}
+	if err := p.expectWord("MESSAGE"); err != nil {
+		return 0, err
+	}
+	return n * mult, nil
+}
+
+func (p *parser) parseVerb(who TaskSel) (Stmt, error) {
+	async := p.acceptWord("ASYNCHRONOUSLY")
+	tok := p.next()
+	if tok.kind != tokWord {
+		return nil, p.errf("expected verb, found %q", tok.text)
+	}
+	verb := strings.TrimSuffix(tok.text, "S")
+	switch verb {
+	case "SEND":
+		if err := p.expectWord("A"); err != nil {
+			return nil, err
+		}
+		size, err := p.parseSize()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectWord("TO"); err != nil {
+			return nil, err
+		}
+		dest, err := p.parseRankExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &SendStmt{Who: who, Async: async, Size: size, Dest: dest}, nil
+	case "RECEIVE":
+		if err := p.expectWord("A"); err != nil {
+			return nil, err
+		}
+		size, err := p.parseSize()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectWord("FROM"); err != nil {
+			return nil, err
+		}
+		src, err := p.parseRankExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &RecvStmt{Who: who, Async: async, Size: size, Source: src}, nil
+	case "AWAIT":
+		if err := p.expectWord("COMPLETION"); err != nil {
+			return nil, err
+		}
+		return &AwaitStmt{Who: who}, nil
+	case "SYNCHRONIZE":
+		return &SyncStmt{Who: who}, nil
+	case "REDUCE":
+		if err := p.expectWord("A"); err != nil {
+			return nil, err
+		}
+		size, err := p.parseSize()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectWord("TO"); err != nil {
+			return nil, err
+		}
+		dsts, err := p.parseSel()
+		if err != nil {
+			return nil, err
+		}
+		return &ReduceStmt{Srcs: who, Dsts: dsts, Size: size}, nil
+	case "MULTICAST":
+		if err := p.expectWord("A"); err != nil {
+			return nil, err
+		}
+		size, err := p.parseSize()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectWord("TO"); err != nil {
+			return nil, err
+		}
+		dsts, err := p.parseSel()
+		if err != nil {
+			return nil, err
+		}
+		return &MulticastStmt{Srcs: who, Dsts: dsts, Size: size}, nil
+	case "COMPUTE":
+		if err := p.expectWord("FOR"); err != nil {
+			return nil, err
+		}
+		t := p.next()
+		var us float64
+		switch t.kind {
+		case tokFloat:
+			us = t.fval
+		case tokInt:
+			us = float64(t.ival)
+		default:
+			return nil, p.errf("expected duration, found %q", t.text)
+		}
+		if err := p.expectWord("MICROSECONDS"); err != nil {
+			return nil, err
+		}
+		return &ComputeStmt{Who: who, USecs: us}, nil
+	case "RESET":
+		if err := p.expectWord("THEIR"); err != nil {
+			return nil, err
+		}
+		if err := p.expectWord("COUNTERS"); err != nil {
+			return nil, err
+		}
+		return &ResetStmt{Who: who}, nil
+	case "LOG":
+		for _, w := range []string{"THE", "MEDIAN", "OF", "elapsed_usecs", "AS"} {
+			if err := p.expectWord(w); err != nil {
+				return nil, err
+			}
+		}
+		t := p.next()
+		if t.kind != tokString {
+			return nil, p.errf("expected label string, found %q", t.text)
+		}
+		return &LogStmt{Who: who, Label: t.text}, nil
+	default:
+		return nil, p.errf("unknown verb %q", tok.text)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

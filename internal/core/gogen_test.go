@@ -1,0 +1,105 @@
+package core
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/mpi"
+)
+
+func TestGenerateGoRing(t *testing.T) {
+	tr := collect(t, 8, ringBody(50, 1024))
+	src, err := GenerateGo(tr, nil)
+	if err != nil {
+		t.Fatalf("GenerateGo: %v", err)
+	}
+	for _, want := range []string{
+		"const numTasks = 8",
+		"for i1 := 0; i1 < 50; i1++ {",
+		"r.Irecv(c, (me + 7) % 8, 0, 1024)",
+		"r.Isend(c, (me + 1) % 8, 0, 1024)",
+		"r.Waitall(reqs...)",
+		"r.Compute(",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("Go output missing %q:\n%s", want, src)
+		}
+	}
+}
+
+func TestGenerateGoGuardsAndCollectives(t *testing.T) {
+	n := 8
+	tr := collect(t, n, func(r *mpi.Rank) {
+		if r.Rank() == 0 {
+			r.Recv(r.World(), 1, 0, 64)
+		} else if r.Rank() == 1 {
+			r.Send(r.World(), 0, 0, 64)
+		} else {
+			r.Compute(10)
+		}
+		r.Allreduce(r.World(), 8)
+		r.Gather(r.World(), 3, 128)
+	})
+	src, err := GenerateGo(tr, nil)
+	if err != nil {
+		t.Fatalf("GenerateGo: %v", err)
+	}
+	for _, want := range []string{
+		"if me == 0 {",
+		"if me == 1 {",
+		"r.Allreduce(c, 8)",
+		"r.Reduce(c, 3, 128)", // Gather substituted, root absolute
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("Go output missing %q:\n%s", want, src)
+		}
+	}
+}
+
+// TestGeneratedGoProgramCompiles writes the emitted program inside the
+// module and compiles it — the generated benchmark is not just text, it is
+// a buildable Go program against the runtime.
+func TestGeneratedGoProgramCompiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping compile check in -short mode")
+	}
+	tr := collect(t, 4, func(r *mpi.Rank) {
+		c := r.World()
+		n := r.Size()
+		for i := 0; i < 5; i++ {
+			r.Compute(10)
+			rq := r.Irecv(c, (r.Rank()+n-1)%n, 0, 256)
+			sq := r.Isend(c, (r.Rank()+1)%n, 0, 256)
+			r.Waitall(rq, sq)
+		}
+		r.Allreduce(c, 8)
+	})
+	src, err := GenerateGo(tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The generated program imports repro/internal/..., so it must live
+	// inside this module to compile. testdata/ is invisible to ./... walks.
+	moduleRoot, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(moduleRoot, "internal", "core", "testdata", "gogen_compile_check")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.RemoveAll(dir) })
+	if err := os.WriteFile(filepath.Join(dir, "main.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command("go", "build", "-o", os.DevNull, "./internal/core/testdata/gogen_compile_check")
+	cmd.Dir = moduleRoot
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("generated program does not compile: %v\n%s\nsource:\n%s", err, out, src)
+	}
+}

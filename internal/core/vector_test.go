@@ -1,0 +1,118 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/conceptual"
+	"repro/internal/mpi"
+	"repro/internal/mpip"
+	"repro/internal/netmodel"
+	"repro/internal/trace"
+)
+
+// TestGenerateIrregularPairs drives the vector-parameter path end to end:
+// an irregular pairing merges into one trace group with per-rank peers, and
+// the generator partitions the participants by world-rank delta, emitting
+// one statement per delta class.
+func TestGenerateIrregularPairs(t *testing.T) {
+	n := 6
+	pairs := map[int]int{0: 5, 5: 0, 1: 3, 3: 1, 2: 4, 4: 2}
+	body := func(r *mpi.Rank) {
+		p := pairs[r.Rank()]
+		rq := r.Irecv(r.World(), p, 0, 64)
+		sq := r.Isend(r.World(), p, 0, 64)
+		r.Waitall(rq, sq)
+	}
+	tr := collect(t, n, body)
+	prog, err := Generate(tr, nil)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	src := conceptual.Print(prog)
+	// Deltas: 0->5 (+5), 5->0 (+1), 1->3 (+2), 3->1 (+4), 2->4 (+2), 4->2 (+4).
+	for _, want := range []string{
+		"TASK (t+5) MOD num_tasks",
+		"TASK (t+1) MOD num_tasks",
+		"TASK (t+2) MOD num_tasks",
+		"TASK (t+4) MOD num_tasks",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("missing %q:\n%s", want, src)
+		}
+	}
+
+	// The generated program must reproduce the communication exactly.
+	orig := mpip.NewProfile()
+	if _, err := mpi.Run(n, netmodel.Ideal(), body, mpi.WithTracer(orig.TracerFor)); err != nil {
+		t.Fatal(err)
+	}
+	gen := mpip.NewProfile()
+	if _, err := conceptual.Execute(prog, n, netmodel.Ideal(),
+		conceptual.WithMPIOptions(mpi.WithTracer(gen.TracerFor))); err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if got, want := gen.Count(mpi.OpIsend), orig.Count(mpi.OpIsend); got != want {
+		t.Fatalf("generated isend count %d != original %d", got, want)
+	}
+	if got, want := gen.Bytes(mpi.OpIsend), orig.Bytes(mpi.OpIsend); got != want {
+		t.Fatalf("generated isend bytes %d != original %d", got, want)
+	}
+}
+
+// TestGenerateButterflyStaysCompact checks that xor-parameter traces emit
+// per-delta statements rather than per-rank ones.
+func TestGenerateButterflyStaysCompact(t *testing.T) {
+	n := 16
+	tr := collect(t, n, func(r *mpi.Rank) {
+		partner := r.Rank() ^ 5
+		rq := r.Irecv(r.World(), partner, 0, 64)
+		sq := r.Isend(r.World(), partner, 0, 64)
+		r.Waitall(rq, sq)
+	})
+	prog, err := Generate(tr, nil)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	// XOR 5 partitions the 16 ranks into deltas {+5-ish classes}; the count
+	// of SEND statements must be well below one per rank.
+	src := conceptual.Print(prog)
+	sends := strings.Count(src, " SEND")
+	if sends > 6 {
+		t.Fatalf("butterfly generated %d send statements (non-compact):\n%s", sends, src)
+	}
+	res, err := conceptual.Execute(prog, n, netmodel.Ideal())
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	_ = res
+}
+
+// TestGeneratedBenchmarkRunsAfterSerialization closes the full tool loop:
+// trace -> encode -> decode -> generate -> print -> parse -> execute.
+func TestGeneratedBenchmarkRunsAfterSerialization(t *testing.T) {
+	tr := collect(t, 8, ringBody(10, 256))
+	var sb strings.Builder
+	if err := encodeTo(&sb, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := decodeFrom(sb.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Generate(back, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reparsed, err := conceptual.Parse(conceptual.Print(prog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conceptual.Execute(reparsed, 8, netmodel.BlueGeneL()); err != nil {
+		t.Fatalf("Execute after full round trip: %v", err)
+	}
+}
+
+func encodeTo(w *strings.Builder, tr *trace.Trace) error { return trace.Encode(w, tr) }
+
+func decodeFrom(s string) (*trace.Trace, error) { return trace.Decode(strings.NewReader(s)) }

@@ -1,0 +1,196 @@
+package extrap
+
+import (
+	"fmt"
+
+	"repro/internal/taskset"
+	"repro/internal/trace"
+)
+
+// ExtrapolateFrom extrapolates to newN ranks from traces of the same
+// application at two different scales, as ScalaExtrap does: the second
+// scale disambiguates parameters a single scale cannot (offset n/2 versus
+// XOR n/2), and lets scale-dependent quantities — loop trip counts, message
+// sizes, absolute roots — be fitted as functions of the world size.
+//
+// Supported fits per parameter: constant, linear in n (with rational slope
+// when it lands on integers), and inverse (v*n constant, the strong-scaling
+// shape). The two traces must be structurally identical apart from those
+// parameters.
+func ExtrapolateFrom(a, b *trace.Trace, newN int) (*trace.Trace, error) {
+	if newN <= 0 {
+		return nil, fmt.Errorf("extrap: target size %d must be positive", newN)
+	}
+	if a.N == b.N {
+		return nil, fmt.Errorf("extrap: need traces at two different scales, both are %d ranks", a.N)
+	}
+	if a.N > b.N {
+		a, b = b, a
+	}
+	if err := Check(a); err != nil {
+		return nil, err
+	}
+	if err := Check(b); err != nil {
+		return nil, err
+	}
+
+	all := taskset.Range(0, newN-1)
+	world := make([]int, newN)
+	for i := range world {
+		world[i] = i
+	}
+	seq, err := fitSeq(a.Groups[0].Seq, b.Groups[0].Seq, a.N, b.N, newN, all)
+	if err != nil {
+		return nil, err
+	}
+	return &trace.Trace{
+		N:      newN,
+		Comms:  map[int][]int{0: world},
+		Groups: []trace.Group{{Ranks: all, Seq: seq}},
+	}, nil
+}
+
+func fitSeq(sa, sb []trace.Node, n1, n2, newN int, all taskset.Set) ([]trace.Node, error) {
+	if len(sa) != len(sb) {
+		return nil, fmt.Errorf("extrap: traces differ structurally (%d vs %d nodes); "+
+			"scale-dependent control flow is out of scope", len(sa), len(sb))
+	}
+	out := make([]trace.Node, len(sa))
+	for i := range sa {
+		switch xa := sa[i].(type) {
+		case *trace.Loop:
+			xb, ok := sb[i].(*trace.Loop)
+			if !ok {
+				return nil, fmt.Errorf("extrap: node %d is a loop in one trace only", i)
+			}
+			iters, err := fitValue(xa.Iters, xb.Iters, n1, n2, newN)
+			if err != nil {
+				return nil, fmt.Errorf("extrap: loop trip count: %w", err)
+			}
+			body, err := fitSeq(xa.Body, xb.Body, n1, n2, newN, all)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = &trace.Loop{Iters: iters, Body: body}
+		case *trace.RSD:
+			xb, ok := sb[i].(*trace.RSD)
+			if !ok {
+				return nil, fmt.Errorf("extrap: node %d is an event in one trace only", i)
+			}
+			leaf, err := fitRSD(xa, xb, n1, n2, newN, all)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = leaf
+		}
+	}
+	return out, nil
+}
+
+func fitRSD(a, b *trace.RSD, n1, n2, newN int, all taskset.Set) (*trace.RSD, error) {
+	if a.Op != b.Op || a.Site != b.Site || a.Tag != b.Tag || a.Wildcard != b.Wildcard {
+		return nil, fmt.Errorf("extrap: events at site %x differ between scales (%v vs %v)",
+			a.Site, a.Op, b.Op)
+	}
+	size, err := fitValue(a.Size, b.Size, n1, n2, newN)
+	if err != nil {
+		return nil, fmt.Errorf("extrap: %v size: %w", a.Op, err)
+	}
+	root := a.Root
+	if a.Root >= 0 {
+		root, err = fitValue(a.Root, b.Root, n1, n2, newN)
+		if err != nil {
+			return nil, fmt.Errorf("extrap: %v root: %w", a.Op, err)
+		}
+	}
+	peer, err := fitPeer(a, b, n1, n2, newN)
+	if err != nil {
+		return nil, err
+	}
+	c := &trace.RSD{
+		Op:       a.Op,
+		Site:     a.Site,
+		Ranks:    all,
+		CommID:   0,
+		CommSize: newN,
+		Peer:     peer,
+		Wildcard: a.Wildcard,
+		Tag:      a.Tag,
+		Size:     size,
+		Root:     root,
+	}
+	// Per-event compute is taken from the larger scale (closer to the
+	// target's per-rank workload under strong scaling; identical to the
+	// smaller under weak scaling).
+	c.SetComputeSample(b.ComputeMean())
+	return c, nil
+}
+
+// fitPeer reconciles the two scales' peer parameters.
+func fitPeer(a, b *trace.RSD, n1, n2, newN int) (trace.Param, error) {
+	pa, pb := a.Peer, b.Peer
+	switch {
+	case pa.Kind == trace.ParamNone && pb.Kind == trace.ParamNone:
+		return trace.NoParam, nil
+	case pa.Kind == trace.ParamAny && pb.Kind == trace.ParamAny:
+		return trace.AnyParam, nil
+	case pa.Kind == trace.ParamAbs && pb.Kind == trace.ParamAbs:
+		v, err := fitValue(pa.Value, pb.Value, n1, n2, newN)
+		if err != nil {
+			return trace.Param{}, fmt.Errorf("extrap: absolute peer: %w", err)
+		}
+		return trace.AbsParam(v), nil
+	case pa.Kind == trace.ParamRel && pb.Kind == trace.ParamRel:
+		v, err := fitValue(pa.Value, pb.Value, n1, n2, newN)
+		if err != nil {
+			return trace.Param{}, fmt.Errorf("extrap: relative peer: %w", err)
+		}
+		return trace.RelParam(v), nil
+	case pa.Kind == trace.ParamXor && pb.Kind == trace.ParamXor && pa.Value == pb.Value:
+		return pa, nil
+	}
+	// Mixed kinds: the classic n/2 ambiguity. A butterfly stage recorded at
+	// the smaller scale as t+n1/2 (== t XOR n1/2) and at the larger as
+	// XOR v is a butterfly; the XOR reading explains both scales.
+	if xor, rel, okX := xorRelPair(pa, pb); okX {
+		if rel == n1/2 && xor == rel || rel == n2/2 && xor == rel {
+			return trace.XorParam(xor), nil
+		}
+	}
+	return trace.Param{}, fmt.Errorf("extrap: peer parameters %v and %v are inconsistent across scales", pa, pb)
+}
+
+// xorRelPair extracts (xorValue, relValue) when one parameter is a
+// butterfly and the other relative.
+func xorRelPair(pa, pb trace.Param) (xor, rel int, ok bool) {
+	switch {
+	case pa.Kind == trace.ParamXor && pb.Kind == trace.ParamRel:
+		return pa.Value, pb.Value, true
+	case pa.Kind == trace.ParamRel && pb.Kind == trace.ParamXor:
+		return pb.Value, pa.Value, true
+	}
+	return 0, 0, false
+}
+
+// fitValue fits a scalar observed at two scales and evaluates it at newN.
+// Shapes tried in order: constant, linear in n (rational slope accepted
+// when the evaluation is integral), inverse (v*n constant).
+func fitValue(v1, v2, n1, n2, newN int) (int, error) {
+	if v1 == v2 {
+		return v1, nil
+	}
+	// Linear: v = v1 + (v2-v1)/(n2-n1) * (n - n1).
+	num := (v2 - v1) * (newN - n1)
+	den := n2 - n1
+	if num%den == 0 {
+		v := v1 + num/den
+		if v >= 0 {
+			return v, nil
+		}
+	}
+	// Inverse: v * n constant.
+	if v1*n1 == v2*n2 && (v1*n1)%newN == 0 {
+		return v1 * n1 / newN, nil
+	}
+	return 0, fmt.Errorf("values %d@%d and %d@%d fit no supported scaling shape", v1, n1, v2, n2)
+}

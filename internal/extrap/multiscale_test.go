@@ -1,0 +1,153 @@
+package extrap
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/replay"
+)
+
+// fixedButterfly exchanges with XOR partners over a fixed number of stages,
+// so the trace shape is scale-independent while stage 4 is ambiguous at 8
+// ranks (t XOR 4 == t+4 mod 8).
+func fixedButterfly(r *mpi.Rank) {
+	c := r.World()
+	for _, stage := range []int{1, 2, 4} {
+		partner := r.Rank() ^ stage
+		rq := r.Irecv(c, partner, stage, 256)
+		sq := r.Isend(c, partner, stage, 256)
+		r.Waitall(rq, sq)
+	}
+	r.Allreduce(c, 8)
+}
+
+func TestSingleScaleRejectsAmbiguousHalfOffset(t *testing.T) {
+	small := collect(t, 8, fixedButterfly)
+	_, err := Extrapolate(small, 32)
+	if err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Fatalf("ambiguous n/2 pattern not rejected: %v", err)
+	}
+}
+
+func TestMultiScaleDisambiguatesButterfly(t *testing.T) {
+	// At 8 ranks stage 4 records as rel+4 (ambiguous); at 16 ranks it
+	// records as xor4. Two scales identify the butterfly.
+	small := collect(t, 8, fixedButterfly)
+	medium := collect(t, 16, fixedButterfly)
+	big, err := ExtrapolateFrom(small, medium, 64)
+	if err != nil {
+		t.Fatalf("ExtrapolateFrom: %v", err)
+	}
+	direct := collect(t, 64, fixedButterfly)
+	if err := replay.Equivalent(big, direct); err != nil {
+		t.Fatalf("extrapolated butterfly differs from direct trace: %v", err)
+	}
+}
+
+func TestMultiScaleFitsScaleDependentSizes(t *testing.T) {
+	// Strong scaling: per-rank message volume shrinks as 1/n.
+	app := func(total int) func(*mpi.Rank) {
+		return func(r *mpi.Rank) {
+			c := r.World()
+			n := r.Size()
+			size := total / n
+			for i := 0; i < 10; i++ {
+				rq := r.Irecv(c, (r.Rank()+n-1)%n, 0, size)
+				sq := r.Isend(c, (r.Rank()+1)%n, 0, size)
+				r.Waitall(rq, sq)
+			}
+		}
+	}
+	const total = 1 << 16
+	a := collect(t, 4, app(total))
+	b := collect(t, 8, app(total))
+	c, err := ExtrapolateFrom(a, b, 16)
+	if err != nil {
+		t.Fatalf("ExtrapolateFrom: %v", err)
+	}
+	direct := collect(t, 16, app(total))
+	if err := replay.Equivalent(c, direct); err != nil {
+		t.Fatalf("strong-scaled sizes not fitted: %v", err)
+	}
+}
+
+func TestMultiScaleFitsLinearLoopCounts(t *testing.T) {
+	// Trip count proportional to world size (e.g. a pipeline over ranks).
+	app := func(r *mpi.Rank) {
+		c := r.World()
+		n := r.Size()
+		for i := 0; i < 2*n; i++ {
+			rq := r.Irecv(c, (r.Rank()+n-1)%n, 0, 64)
+			sq := r.Isend(c, (r.Rank()+1)%n, 0, 64)
+			r.Waitall(rq, sq)
+		}
+	}
+	a := collect(t, 4, app)
+	b := collect(t, 8, app)
+	c, err := ExtrapolateFrom(a, b, 32)
+	if err != nil {
+		t.Fatalf("ExtrapolateFrom: %v", err)
+	}
+	direct := collect(t, 32, app)
+	if err := replay.Equivalent(c, direct); err != nil {
+		t.Fatalf("linear loop count not fitted: %v", err)
+	}
+}
+
+func TestMultiScaleRejectsSameScale(t *testing.T) {
+	a := collect(t, 8, ringBody)
+	if _, err := ExtrapolateFrom(a, a, 32); err == nil {
+		t.Fatal("same-scale pair accepted")
+	}
+}
+
+func TestMultiScaleRejectsStructuralDivergence(t *testing.T) {
+	// log2(n) butterfly stages: sequence length differs between scales.
+	logButterfly := func(r *mpi.Rank) {
+		c := r.World()
+		for stage := 1; stage < r.Size(); stage *= 2 {
+			partner := r.Rank() ^ stage
+			rq := r.Irecv(c, partner, stage, 64)
+			sq := r.Isend(c, partner, stage, 64)
+			r.Waitall(rq, sq)
+		}
+	}
+	a := collect(t, 4, logButterfly)
+	b := collect(t, 16, logButterfly)
+	if _, err := ExtrapolateFrom(a, b, 64); err == nil {
+		t.Fatal("scale-dependent control flow accepted")
+	}
+}
+
+func TestFitValue(t *testing.T) {
+	cases := []struct {
+		v1, v2, n1, n2, newN int
+		want                 int
+		wantErr              bool
+	}{
+		{100, 100, 4, 8, 64, 100, false}, // constant
+		{5, 9, 4, 8, 16, 17, false},      // linear slope 1
+		{8, 16, 4, 8, 32, 64, false},     // linear slope 2
+		{64, 32, 4, 8, 16, 16, false},    // inverse (v*n = 256)
+		{7, 11, 4, 8, 13, 16, false},     // linear, rational evaluation ok
+		{3, 10, 4, 8, 13, 0, true},       // 7/4 slope, non-integral at 13
+		{100, 50, 4, 8, 7, 0, true},      // inverse, 400/7 non-integral
+	}
+	for _, c := range cases {
+		got, err := fitValue(c.v1, c.v2, c.n1, c.n2, c.newN)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("fitValue(%+v) = %d, want error", c, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("fitValue(%+v): %v", c, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("fitValue(%+v) = %d, want %d", c, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/mpi"
+	"repro/internal/mpip"
+	"repro/internal/netmodel"
+)
+
+// CanonKey names one row of a canonical communication profile.
+type CanonKey string
+
+// Canonical profile rows. Point-to-point operations are counted exactly;
+// collective rows fold Table 1's substitutions so an original application's
+// profile and its generated benchmark's profile are directly comparable.
+const (
+	CanonSends      CanonKey = "sends"      // Send + Isend calls
+	CanonSendBytes  CanonKey = "send-bytes" // bytes across Send + Isend
+	CanonRecvs      CanonKey = "recvs"      // Recv + Irecv calls
+	CanonRecvBytes  CanonKey = "recv-bytes" // bytes across Recv + Irecv
+	CanonWaits      CanonKey = "waits"      // Wait + Waitall calls
+	CanonBarriers   CanonKey = "barriers"   // Barrier (+ comm create cost points in the original)
+	CanonReduces    CanonKey = "reduces"    // Reduce + Gather(v) (+ the reduce half of Allgather(v))
+	CanonReduceB    CanonKey = "reduce-bytes"
+	CanonBcasts     CanonKey = "bcasts" // Bcast + Scatter(v) + the multicast half of Allgather(v)
+	CanonBcastB     CanonKey = "bcast-bytes"
+	CanonAllreduces CanonKey = "allreduces"
+	CanonAllredB    CanonKey = "allreduce-bytes"
+	CanonAlltoalls  CanonKey = "alltoalls" // Alltoall + Alltoallv
+	CanonAlltoallB  CanonKey = "alltoall-bytes"
+)
+
+// Canonical flattens a profile into the substitution-normalized form.
+// original selects the folding direction: the original application's
+// Gather/Scatter/v-collectives fold into the rows their Table 1
+// substitutions will land in, and communicator management folds into
+// barriers (the generated benchmark preserves a split's synchronization as
+// an explicit barrier).
+func Canonical(p *mpip.Profile, worldN int, original bool) map[CanonKey]float64 {
+	c := map[CanonKey]float64{}
+	add := func(k CanonKey, v float64) { c[k] += v }
+
+	add(CanonSends, float64(p.Count(mpi.OpSend)+p.Count(mpi.OpIsend)))
+	add(CanonSendBytes, float64(p.Bytes(mpi.OpSend)+p.Bytes(mpi.OpIsend)))
+	add(CanonRecvs, float64(p.Count(mpi.OpRecv)+p.Count(mpi.OpIrecv)))
+	add(CanonRecvBytes, float64(p.Bytes(mpi.OpRecv)+p.Bytes(mpi.OpIrecv)))
+	add(CanonWaits, float64(p.Count(mpi.OpWait)+p.Count(mpi.OpWaitall)))
+
+	add(CanonBarriers, float64(p.Count(mpi.OpBarrier)))
+	add(CanonAllreduces, float64(p.Count(mpi.OpAllreduce)))
+	add(CanonAllredB, float64(p.Bytes(mpi.OpAllreduce)))
+
+	add(CanonReduces, float64(p.Count(mpi.OpReduce)))
+	add(CanonReduceB, float64(p.Bytes(mpi.OpReduce)))
+	add(CanonBcasts, float64(p.Count(mpi.OpBcast)))
+	add(CanonBcastB, float64(p.Bytes(mpi.OpBcast)))
+	add(CanonAlltoalls, float64(p.Count(mpi.OpAlltoall)))
+	add(CanonAlltoallB, float64(p.Bytes(mpi.OpAlltoall)))
+
+	if original {
+		// Fold the original's MPI-only collectives into their Table 1
+		// substitution rows.
+		add(CanonBarriers, float64(p.Count(mpi.OpCommSplit)+p.Count(mpi.OpCommDup)))
+
+		add(CanonReduces, float64(p.Count(mpi.OpGather)+p.Count(mpi.OpGatherv)))
+		add(CanonReduceB, float64(p.Bytes(mpi.OpGather)+p.Bytes(mpi.OpGatherv)))
+
+		add(CanonBcasts, float64(p.Count(mpi.OpScatter)+p.Count(mpi.OpScatterv)))
+		add(CanonBcastB, float64(p.Bytes(mpi.OpScatter)+p.Bytes(mpi.OpScatterv)))
+
+		// Allgather(v) becomes a reduce plus a multicast of the same size.
+		ag := float64(p.Count(mpi.OpAllgather) + p.Count(mpi.OpAllgatherv))
+		agB := float64(p.Bytes(mpi.OpAllgather) + p.Bytes(mpi.OpAllgatherv))
+		add(CanonReduces, ag)
+		add(CanonReduceB, agB)
+		add(CanonBcasts, ag)
+		add(CanonBcastB, agB)
+
+		// Alltoallv's per-rank total volume becomes an averaged per-pair
+		// volume in the substituted Alltoall.
+		add(CanonAlltoalls, float64(p.Count(mpi.OpAlltoallv)))
+		if worldN > 0 {
+			add(CanonAlltoallB, float64(p.Bytes(mpi.OpAlltoallv))/float64(worldN))
+		}
+
+		// Reduce_scatter becomes worldN rooted reduces of the segment sizes.
+		add(CanonReduces, float64(p.Count(mpi.OpReduceScatter))*float64(worldN))
+		add(CanonReduceB, float64(p.Bytes(mpi.OpReduceScatter)))
+	}
+	return c
+}
+
+// CorrectnessResult reports the Section 5.2 profile comparison for one app.
+type CorrectnessResult struct {
+	App   string
+	Ranks int
+	// Match is true when every canonical row agrees (within the rounding
+	// tolerance that size-averaging introduces).
+	Match bool
+	// Diffs lists mismatching rows.
+	Diffs []string
+}
+
+// relTolerance bounds acceptable relative deviation on byte rows: averaging
+// v-collective sizes performs integer division per event.
+const relTolerance = 0.01
+
+// Correctness runs one application and its generated benchmark under
+// profiling and compares the canonical profiles — the experiment whose
+// result the paper reports as "matched perfectly".
+func Correctness(name string, cfg apps.Config, model *netmodel.Model) (*CorrectnessResult, error) {
+	run, err := TraceApp(name, cfg, model)
+	if err != nil {
+		return nil, err
+	}
+	bench, err := GenerateAndRun(run.Trace, model)
+	if err != nil {
+		return nil, err
+	}
+	origC := Canonical(run.Profile, cfg.N, true)
+	genC := Canonical(bench.Profile, cfg.N, false)
+
+	res := &CorrectnessResult{App: name, Ranks: cfg.N, Match: true}
+	keys := map[CanonKey]bool{}
+	for k := range origC {
+		keys[k] = true
+	}
+	for k := range genC {
+		keys[k] = true
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, string(k))
+	}
+	sort.Strings(sorted)
+	// countRowFor maps a byte row to its call-count row: averaged-size
+	// substitutions truncate to integers, so each substituted event may
+	// round away up to one byte.
+	countRowFor := map[CanonKey]CanonKey{
+		CanonAlltoallB: CanonAlltoalls,
+		CanonReduceB:   CanonReduces,
+		CanonBcastB:    CanonBcasts,
+		CanonAllredB:   CanonAllreduces,
+	}
+	for _, ks := range sorted {
+		k := CanonKey(ks)
+		a, b := origC[k], genC[k]
+		if a == b {
+			continue
+		}
+		if strings.Contains(ks, "bytes") {
+			absSlack := 1.0
+			if cr, ok := countRowFor[k]; ok {
+				absSlack += genC[cr] // one byte of rounding per event
+			}
+			if math.Abs(a-b) <= absSlack {
+				continue
+			}
+			if a != 0 && math.Abs(a-b)/math.Abs(a) <= relTolerance {
+				continue
+			}
+		}
+		res.Match = false
+		res.Diffs = append(res.Diffs, fmt.Sprintf("%s: original %.0f vs generated %.0f", k, a, b))
+	}
+	return res, nil
+}

@@ -1,0 +1,40 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/netmodel"
+	"repro/internal/replay"
+	"repro/internal/wildcard"
+)
+
+// Equivalence performs the second Section 5.2 check: the generated
+// benchmark is itself instrumented with the trace collector, and its trace
+// is compared per event against the original application's trace. As in the
+// paper, the comparison normalizes away spurious structural differences
+// (call-site signatures, loop shapes, wait granularity); because the
+// generated benchmark is deterministic by construction (Section 4.4), the
+// original trace's wildcard receives are resolved with Algorithm 2 before
+// comparing, so both sides name concrete sources.
+func Equivalence(name string, cfg apps.Config, model *netmodel.Model) error {
+	run, err := TraceApp(name, cfg, model)
+	if err != nil {
+		return err
+	}
+	bench, err := GenerateAndRun(run.Trace, model)
+	if err != nil {
+		return err
+	}
+	reference := run.Trace
+	if wildcard.Present(reference) {
+		reference, err = wildcard.Resolve(reference)
+		if err != nil {
+			return fmt.Errorf("harness: resolving reference trace: %w", err)
+		}
+	}
+	if err := replay.Equivalent(reference, bench.Trace); err != nil {
+		return fmt.Errorf("harness: %s traces not equivalent: %w", name, err)
+	}
+	return nil
+}

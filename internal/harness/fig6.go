@@ -1,0 +1,109 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/netmodel"
+	"repro/internal/stats"
+)
+
+// Fig6Point is one bar pair of Figure 6: original versus generated run time
+// for one application at one node count.
+type Fig6Point struct {
+	App         string
+	Ranks       int
+	OriginalUS  float64
+	GeneratedUS float64
+	// ErrPct is 100*|generated-original|/original, the paper's accuracy
+	// metric (2.9% mean across the figure).
+	ErrPct float64
+}
+
+// DefaultFig6Counts returns the per-application node counts evaluated in
+// Figure 6: square counts for the square-grid codes, powers of two
+// elsewhere, with LU additionally run at 256 nodes as in the paper.
+func DefaultFig6Counts() map[string][]int {
+	return map[string][]int{
+		"bt":      {16, 36, 64},
+		"sp":      {16, 36, 64},
+		"cg":      {16, 32, 64, 128},
+		"ep":      {16, 32, 64, 128},
+		"ft":      {16, 32, 64, 128},
+		"is":      {16, 32, 64, 128},
+		"lu":      {16, 32, 64, 128, 256},
+		"mg":      {16, 32, 64, 128},
+		"sweep3d": {16, 36, 64},
+	}
+}
+
+// SmallFig6Counts returns a reduced configuration for quick runs and tests.
+func SmallFig6Counts() map[string][]int {
+	return map[string][]int{
+		"bt": {16}, "sp": {16}, "cg": {16}, "ep": {16}, "ft": {16},
+		"is": {16}, "lu": {16}, "mg": {16}, "sweep3d": {16},
+	}
+}
+
+// Fig6 reproduces the timing-accuracy experiment: for every app and node
+// count, trace the original, generate the benchmark, run both on the same
+// platform model, and compare total times.
+func Fig6(class apps.Class, counts map[string][]int, model *netmodel.Model) ([]Fig6Point, error) {
+	var points []Fig6Point
+	for _, name := range orderedApps(counts) {
+		for _, n := range counts[name] {
+			run, err := TraceApp(name, apps.NewConfig(n, class), model)
+			if err != nil {
+				return nil, fmt.Errorf("fig6 %s/%d: %w", name, n, err)
+			}
+			bench, err := GenerateAndRun(run.Trace, model)
+			if err != nil {
+				return nil, fmt.Errorf("fig6 %s/%d: %w", name, n, err)
+			}
+			points = append(points, Fig6Point{
+				App:         name,
+				Ranks:       n,
+				OriginalUS:  run.ElapsedUS,
+				GeneratedUS: bench.ElapsedUS,
+				ErrPct:      stats.AbsPercentError(bench.ElapsedUS, run.ElapsedUS),
+			})
+		}
+	}
+	return points, nil
+}
+
+func orderedApps(counts map[string][]int) []string {
+	order := append(apps.NPBNames(), "sweep3d")
+	var out []string
+	for _, name := range order {
+		if _, ok := counts[name]; ok {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// Fig6MAPE returns the mean absolute percentage error across the points.
+func Fig6MAPE(points []Fig6Point) float64 {
+	if len(points) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, p := range points {
+		total += p.ErrPct
+	}
+	return total / float64(len(points))
+}
+
+// Fig6Table renders the points as the figure's data table.
+func Fig6Table(points []Fig6Point) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-8s %6s %16s %16s %8s\n", "app", "nodes", "original (s)", "generated (s)", "err %")
+	for _, p := range points {
+		fmt.Fprintf(&sb, "%-8s %6d %16.3f %16.3f %8.2f\n",
+			p.App, p.Ranks, p.OriginalUS/1e6, p.GeneratedUS/1e6, p.ErrPct)
+	}
+	fmt.Fprintf(&sb, "mean absolute percentage error: %.2f%% (paper: 2.9%%)\n", Fig6MAPE(points))
+	return sb.String()
+}

@@ -1,0 +1,107 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/conceptual"
+	"repro/internal/netmodel"
+)
+
+// Fig7Point is one point of Figure 7: total execution time of the generated
+// BT benchmark with computation scaled to a percentage of its traced value.
+type Fig7Point struct {
+	ComputePct int
+	TotalUS    float64
+}
+
+// ScaleCompute returns a deep copy of the program with every COMPUTE
+// statement's duration multiplied by factor — the manual edit the paper
+// performs on the generated coNCePTuaL code ("we then modified the
+// CONCEPTUAL code to vary the time spent in all computation phases").
+func ScaleCompute(p *conceptual.Program, factor float64) *conceptual.Program {
+	out := &conceptual.Program{
+		Comments: append([]string(nil), p.Comments...),
+		NumTasks: p.NumTasks,
+		Stmts:    scaleStmts(p.Stmts, factor),
+	}
+	out.Comments = append(out.Comments,
+		fmt.Sprintf("computation phases scaled to %.0f%% of traced time", factor*100))
+	return out
+}
+
+func scaleStmts(stmts []conceptual.Stmt, factor float64) []conceptual.Stmt {
+	out := make([]conceptual.Stmt, len(stmts))
+	for i, s := range stmts {
+		switch x := s.(type) {
+		case *conceptual.LoopStmt:
+			out[i] = &conceptual.LoopStmt{Count: x.Count, Body: scaleStmts(x.Body, factor)}
+		case *conceptual.ComputeStmt:
+			out[i] = &conceptual.ComputeStmt{Who: x.Who, USecs: x.USecs * factor}
+		default:
+			out[i] = s
+		}
+	}
+	return out
+}
+
+// Fig7 reproduces the what-if acceleration study: BT is traced once on the
+// given class and rank count, a benchmark is generated, and the benchmark is
+// executed on the Ethernet-cluster model with its computation phases scaled
+// from 100% down to 0% in steps of 10.
+func Fig7(class apps.Class, n int, model *netmodel.Model) ([]Fig7Point, error) {
+	if model == nil {
+		model = netmodel.EthernetCluster()
+	}
+	// The paper traces BT on the source machine and runs the generated
+	// benchmark variants on ARC; the trace's compute times travel with the
+	// generated code.
+	run, err := TraceApp("bt", apps.NewConfig(n, class), netmodel.BlueGeneL())
+	if err != nil {
+		return nil, fmt.Errorf("fig7: %w", err)
+	}
+	bench, err := GenerateAndRun(run.Trace, model)
+	if err != nil {
+		return nil, fmt.Errorf("fig7: %w", err)
+	}
+	var points []Fig7Point
+	for pct := 100; pct >= 0; pct -= 10 {
+		scaled := ScaleCompute(bench.Program, float64(pct)/100)
+		res, err := RunProgram(scaled, n, model)
+		if err != nil {
+			return nil, fmt.Errorf("fig7 at %d%%: %w", pct, err)
+		}
+		points = append(points, Fig7Point{ComputePct: pct, TotalUS: res.ElapsedUS})
+	}
+	return points, nil
+}
+
+// Fig7Table renders the series as the figure's data table.
+func Fig7Table(points []Fig7Point) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%12s %16s\n", "compute %", "total time (s)")
+	for _, p := range points {
+		fmt.Fprintf(&sb, "%12d %16.3f\n", p.ComputePct, p.TotalUS/1e6)
+	}
+	return sb.String()
+}
+
+// Fig7Shape summarizes the qualitative result the paper reports: the total
+// time decreases sublinearly as compute shrinks and then *increases* again
+// toward 0% (the messaging-layer nonlinearity). It returns the index of the
+// minimum point and whether the right-to-left up-turn is present.
+func Fig7Shape(points []Fig7Point) (minIdx int, uShaped bool) {
+	if len(points) == 0 {
+		return 0, false
+	}
+	minIdx = 0
+	for i, p := range points {
+		if p.TotalUS < points[minIdx].TotalUS {
+			minIdx = i
+		}
+	}
+	last := points[len(points)-1] // the 0% point
+	uShaped = minIdx != len(points)-1 && last.TotalUS > points[minIdx].TotalUS*1.05
+	return minIdx, uShaped
+}

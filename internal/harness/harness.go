@@ -1,0 +1,101 @@
+// Package harness drives the paper's evaluation (Section 5): it traces the
+// workload suite, generates coNCePTuaL benchmarks, runs them, and produces
+// the data behind every table and figure — communication correctness
+// (Section 5.2), timing accuracy (Figure 6), the what-if acceleration study
+// (Figure 7), and the trace/code-size scaling results that back the Section
+// 2 claims. cmd/experiments and the repository's benchmarks are thin
+// wrappers over this package.
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/conceptual"
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/mpip"
+	"repro/internal/netmodel"
+	"repro/internal/trace"
+)
+
+// AppRun is the result of tracing one application execution.
+type AppRun struct {
+	App     string
+	Config  apps.Config
+	Model   *netmodel.Model
+	Trace   *trace.Trace
+	Profile *mpip.Profile
+	// ElapsedUS is the original application's virtual run time.
+	ElapsedUS float64
+}
+
+// TraceApp runs the named application under ScalaTrace-style collection and
+// mpiP-style profiling, returning the trace, the profile and the original
+// run time.
+func TraceApp(name string, cfg apps.Config, model *netmodel.Model) (*AppRun, error) {
+	app := apps.ByName(name)
+	if app == nil {
+		return nil, fmt.Errorf("harness: unknown app %q (have %v)", name, apps.Names())
+	}
+	if !app.ValidRanks(cfg.N) {
+		return nil, fmt.Errorf("harness: %s does not support %d ranks", name, cfg.N)
+	}
+	col := trace.NewCollector(cfg.N)
+	prof := mpip.NewProfile()
+	tracers := func(rank int) mpi.Tracer {
+		return mpi.MultiTracer{col.TracerFor(rank), prof.TracerFor(rank)}
+	}
+	res, err := mpi.Run(cfg.N, model, app.Body(cfg), mpi.WithTracer(tracers))
+	if err != nil {
+		return nil, fmt.Errorf("harness: running %s: %w", name, err)
+	}
+	return &AppRun{
+		App:       name,
+		Config:    cfg,
+		Model:     model,
+		Trace:     col.Trace(),
+		Profile:   prof,
+		ElapsedUS: res.ElapsedUS,
+	}, nil
+}
+
+// BenchmarkRun is the result of executing a generated benchmark.
+type BenchmarkRun struct {
+	Program   *conceptual.Program
+	Profile   *mpip.Profile
+	Trace     *trace.Trace
+	ElapsedUS float64
+}
+
+// GenerateAndRun converts a trace into a coNCePTuaL benchmark, executes it
+// on the given platform model, and returns the program together with its
+// profile, re-trace and run time — the full Figure 1 pipeline plus the
+// instrumented execution of Section 5.2.
+func GenerateAndRun(tr *trace.Trace, model *netmodel.Model) (*BenchmarkRun, error) {
+	prog, err := core.Generate(tr, nil)
+	if err != nil {
+		return nil, fmt.Errorf("harness: generation failed: %w", err)
+	}
+	return RunProgram(prog, tr.N, model)
+}
+
+// RunProgram executes a coNCePTuaL program under profiling and re-tracing.
+func RunProgram(prog *conceptual.Program, n int, model *netmodel.Model) (*BenchmarkRun, error) {
+	prof := mpip.NewProfile()
+	col := trace.NewCollector(n)
+	tracers := func(rank int) mpi.Tracer {
+		return mpi.MultiTracer{col.TracerFor(rank), prof.TracerFor(rank)}
+	}
+	res, err := conceptual.Execute(prog, n, model,
+		conceptual.WithMPIOptions(mpi.WithTracer(tracers)))
+	if err != nil {
+		return nil, fmt.Errorf("harness: executing generated benchmark: %w", err)
+	}
+	return &BenchmarkRun{
+		Program:   prog,
+		Profile:   prof,
+		Trace:     col.Trace(),
+		ElapsedUS: res.ElapsedUS,
+	}, nil
+}

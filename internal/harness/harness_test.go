@@ -1,0 +1,265 @@
+package harness
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/conceptual"
+	"repro/internal/netmodel"
+)
+
+func TestTraceAppUnknown(t *testing.T) {
+	if _, err := TraceApp("nope", apps.NewConfig(4, apps.ClassS), netmodel.Ideal()); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+	if _, err := TraceApp("bt", apps.NewConfig(15, apps.ClassS), netmodel.Ideal()); err == nil {
+		t.Fatal("invalid rank count accepted")
+	}
+}
+
+func TestCorrectnessAllApps(t *testing.T) {
+	// Section 5.2, first check: canonical profiles of original application
+	// and generated benchmark must match for the full suite.
+	for _, name := range append(apps.NPBNames(), "sweep3d") {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			app := apps.ByName(name)
+			n := 16
+			for !app.ValidRanks(n) {
+				n--
+			}
+			res, err := Correctness(name, apps.NewConfig(n, apps.ClassS), netmodel.BlueGeneL())
+			if err != nil {
+				t.Fatalf("Correctness: %v", err)
+			}
+			if !res.Match {
+				t.Fatalf("profiles differ: %v", res.Diffs)
+			}
+		})
+	}
+}
+
+func TestEquivalenceAllApps(t *testing.T) {
+	// Section 5.2, second check: per-event trace equivalence.
+	for _, name := range append(apps.NPBNames(), "sweep3d") {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			app := apps.ByName(name)
+			n := 16
+			for !app.ValidRanks(n) {
+				n--
+			}
+			if err := Equivalence(name, apps.NewConfig(n, apps.ClassS), netmodel.BlueGeneL()); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestFig6SmallClass(t *testing.T) {
+	points, err := Fig6(apps.ClassS, SmallFig6Counts(), netmodel.BlueGeneL())
+	if err != nil {
+		t.Fatalf("Fig6: %v", err)
+	}
+	if len(points) != 9 {
+		t.Fatalf("got %d points, want 9", len(points))
+	}
+	mape := Fig6MAPE(points)
+	if mape > 10 {
+		t.Fatalf("MAPE %.2f%% too far from the paper's 2.9%%:\n%s", mape, Fig6Table(points))
+	}
+	for _, p := range points {
+		if p.OriginalUS <= 0 || p.GeneratedUS <= 0 {
+			t.Fatalf("degenerate point %+v", p)
+		}
+	}
+	tbl := Fig6Table(points)
+	if len(tbl) == 0 {
+		t.Fatal("empty table")
+	}
+}
+
+func TestFig7UShape(t *testing.T) {
+	points, err := Fig7(apps.ClassA, 16, netmodel.EthernetCluster())
+	if err != nil {
+		t.Fatalf("Fig7: %v", err)
+	}
+	if len(points) != 11 {
+		t.Fatalf("got %d points, want 11", len(points))
+	}
+	if points[0].ComputePct != 100 || points[10].ComputePct != 0 {
+		t.Fatalf("bad sweep order: %+v", points)
+	}
+	minIdx, uShaped := Fig7Shape(points)
+	if !uShaped {
+		t.Fatalf("no U-shape (min at %d%%):\n%s", points[minIdx].ComputePct, Fig7Table(points))
+	}
+	// Sublinear speedup on the right side: 100% -> 70% compute must not
+	// reduce total time by 30%.
+	if points[3].TotalUS < points[0].TotalUS*0.70 {
+		t.Fatalf("right side not sublinear:\n%s", Fig7Table(points))
+	}
+}
+
+func TestScalingSublinear(t *testing.T) {
+	points, err := Scaling("ring", apps.ClassS, []int{8, 64})
+	if err != nil {
+		t.Fatalf("Scaling: %v", err)
+	}
+	if points[1].Events <= points[0].Events {
+		t.Fatal("events should grow with ranks")
+	}
+	if points[1].TraceNodes != points[0].TraceNodes {
+		t.Fatalf("trace nodes grew with ranks: %+v", points)
+	}
+	if points[1].Stmts != points[0].Stmts {
+		t.Fatalf("generated code grew with ranks: %+v", points)
+	}
+	if ScalingTable(points) == "" {
+		t.Fatal("empty table")
+	}
+}
+
+func TestCanonicalFoldsScatterGather(t *testing.T) {
+	// Unit-level check of the folding arithmetic via a synthetic run.
+	run, err := TraceApp("is", apps.NewConfig(8, apps.ClassS), netmodel.Ideal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Canonical(run.Profile, 8, true)
+	if c[CanonAlltoalls] == 0 {
+		t.Fatal("IS should fold alltoallv into alltoalls")
+	}
+	if c[CanonAllreduces] == 0 {
+		t.Fatal("IS uses allreduce")
+	}
+}
+
+func TestNoiseSensitivity(t *testing.T) {
+	points, err := NoiseSensitivity([]string{"bt", "sweep3d"}, 16, apps.ClassS, []float64{0, 0.05})
+	if err != nil {
+		t.Fatalf("NoiseSensitivity: %v", err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("got %d points", len(points))
+	}
+	// Noise must not destroy accuracy wholesale; the generated benchmark
+	// should stay within a few percent even under 5% noise.
+	for _, p := range points {
+		if p.ErrPct > 8 {
+			t.Fatalf("error exploded under noise: %+v\n%s", p, NoiseTable(points))
+		}
+	}
+	if NoiseTable(points) == "" {
+		t.Fatal("empty table")
+	}
+}
+
+func TestCorrectnessAcrossRankCounts(t *testing.T) {
+	// The §5.2 check at several decompositions per app (square grids for
+	// BT/SP/sweep3d, powers of two elsewhere).
+	cases := map[string][]int{
+		"bt":      {4, 9, 25},
+		"lu":      {6, 12},
+		"cg":      {8, 32},
+		"sweep3d": {6, 20},
+		"is":      {4, 32},
+	}
+	for name, counts := range cases {
+		for _, n := range counts {
+			name, n := name, n
+			t.Run(fmt.Sprintf("%s-%d", name, n), func(t *testing.T) {
+				t.Parallel()
+				res, err := Correctness(name, apps.NewConfig(n, apps.ClassS), netmodel.BlueGeneL())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !res.Match {
+					t.Fatalf("profiles differ: %v", res.Diffs)
+				}
+			})
+		}
+	}
+}
+
+func TestEquivalenceToyApps(t *testing.T) {
+	for _, name := range []string{"ring", "halo2d"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			app := apps.ByName(name)
+			n := 9
+			for !app.ValidRanks(n) {
+				n--
+			}
+			if err := Equivalence(name, apps.NewConfig(n, apps.ClassS), netmodel.BlueGeneL()); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestOverlapComputeTransform(t *testing.T) {
+	// [Compute, Recv, Send, Await] must become [Recv, Send, Compute, Await].
+	p := &conceptual.Program{NumTasks: 4, Stmts: []conceptual.Stmt{
+		&conceptual.LoopStmt{Count: 3, Body: []conceptual.Stmt{
+			&conceptual.ComputeStmt{Who: conceptual.AllTasks, USecs: 100},
+			&conceptual.RecvStmt{Who: conceptual.AllTasks, Async: true, Size: 64, Source: conceptual.RelRank(3)},
+			&conceptual.SendStmt{Who: conceptual.AllTasks, Async: true, Size: 64, Dest: conceptual.RelRank(1)},
+			&conceptual.AwaitStmt{Who: conceptual.AllTasks},
+		}},
+	}}
+	o := OverlapCompute(p)
+	body := o.Stmts[0].(*conceptual.LoopStmt).Body
+	kinds := make([]string, len(body))
+	for i, s := range body {
+		kinds[i] = fmt.Sprintf("%T", s)
+	}
+	want := []string{"*conceptual.RecvStmt", "*conceptual.SendStmt", "*conceptual.ComputeStmt", "*conceptual.AwaitStmt"}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("order = %v, want %v", kinds, want)
+		}
+	}
+	// Blocking operations flush the pending compute before them... confirm a
+	// compute before a SYNC stays put.
+	p2 := &conceptual.Program{Stmts: []conceptual.Stmt{
+		&conceptual.ComputeStmt{Who: conceptual.AllTasks, USecs: 5},
+		&conceptual.SyncStmt{Who: conceptual.AllTasks},
+	}}
+	o2 := OverlapCompute(p2)
+	if _, ok := o2.Stmts[0].(*conceptual.ComputeStmt); !ok {
+		t.Fatalf("compute moved past a synchronous statement: %T", o2.Stmts[0])
+	}
+}
+
+func TestOverlapStudySpeedsUpStencils(t *testing.T) {
+	points, err := OverlapStudy([]string{"bt"}, 16, apps.ClassA, netmodel.BlueGeneL())
+	if err != nil {
+		t.Fatalf("OverlapStudy: %v", err)
+	}
+	p := points[0]
+	if p.OverlappedUS >= p.BaselineUS {
+		t.Fatalf("overlap bought nothing: %+v", p)
+	}
+	if p.SpeedupPct <= 1 || p.SpeedupPct >= 60 {
+		t.Fatalf("implausible overlap speedup %.1f%%", p.SpeedupPct)
+	}
+}
+
+func TestPingPongRoundTrips(t *testing.T) {
+	// The microbenchmark category end to end: correctness + equivalence.
+	res, err := Correctness("pingpong", apps.NewConfig(4, apps.ClassS), netmodel.BlueGeneL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Match {
+		t.Fatalf("pingpong profiles differ: %v", res.Diffs)
+	}
+	if err := Equivalence("pingpong", apps.NewConfig(4, apps.ClassS), netmodel.BlueGeneL()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,73 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/netmodel"
+	"repro/internal/stats"
+)
+
+// NoisePoint reports the Figure 6 timing error of one app under one
+// platform-noise level.
+type NoisePoint struct {
+	App           string
+	NoiseFraction float64
+	ErrPct        float64
+}
+
+// NoiseSensitivity measures how generated-benchmark timing accuracy
+// degrades with platform noise. The paper's 2.9% mean error was measured on
+// a real (noisy) Blue Gene/L; our noise-free model yields errors well below
+// that, and this sweep shows noise closing the gap: the original run and
+// the generated benchmark see different noise instances (different event
+// streams), so the comparison degrades the way two real runs of the same
+// binary would.
+func NoiseSensitivity(appNames []string, n int, class apps.Class, fractions []float64) ([]NoisePoint, error) {
+	var points []NoisePoint
+	for _, frac := range fractions {
+		model := netmodel.BlueGeneL()
+		model.NoiseFraction = frac
+		model.NoiseSeed = 1
+		for _, name := range appNames {
+			ranks := n
+			app := apps.ByName(name)
+			if app == nil {
+				return nil, fmt.Errorf("noise: unknown app %q", name)
+			}
+			for !app.ValidRanks(ranks) {
+				ranks--
+			}
+			run, err := TraceApp(name, apps.NewConfig(ranks, class), model)
+			if err != nil {
+				return nil, err
+			}
+			// The vendor's machine is the same platform but never the same
+			// noise instance; use a different seed for the benchmark run.
+			benchModel := netmodel.BlueGeneL()
+			benchModel.NoiseFraction = frac
+			benchModel.NoiseSeed = 2
+			bench, err := GenerateAndRun(run.Trace, benchModel)
+			if err != nil {
+				return nil, err
+			}
+			points = append(points, NoisePoint{
+				App:           name,
+				NoiseFraction: frac,
+				ErrPct:        stats.AbsPercentError(bench.ElapsedUS, run.ElapsedUS),
+			})
+		}
+	}
+	return points, nil
+}
+
+// NoiseTable renders the sweep grouped by noise level.
+func NoiseTable(points []NoisePoint) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-8s %10s %8s\n", "app", "noise %", "err %")
+	for _, p := range points {
+		fmt.Fprintf(&sb, "%-8s %10.1f %8.2f\n", p.App, 100*p.NoiseFraction, p.ErrPct)
+	}
+	return sb.String()
+}

@@ -1,0 +1,63 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/conceptual"
+	"repro/internal/core"
+	"repro/internal/netmodel"
+)
+
+// ScalingPoint measures the trace and generated-code footprint at one scale.
+type ScalingPoint struct {
+	App   string
+	Ranks int
+	// Events is the uncompressed event count across all ranks.
+	Events int
+	// TraceNodes is the compressed trace size in nodes.
+	TraceNodes int
+	// Stmts is the generated program's statement count.
+	Stmts int
+	// SourceBytes is the printed benchmark's size.
+	SourceBytes int
+}
+
+// Scaling measures how trace size and generated-code size grow with rank
+// count — the sublinearity claims of Section 2's first bullet. The ideal
+// network model is used since only structure matters.
+func Scaling(name string, class apps.Class, counts []int) ([]ScalingPoint, error) {
+	var points []ScalingPoint
+	for _, n := range counts {
+		run, err := TraceApp(name, apps.NewConfig(n, class), netmodel.Ideal())
+		if err != nil {
+			return nil, fmt.Errorf("scaling %s/%d: %w", name, n, err)
+		}
+		prog, err := core.Generate(run.Trace, nil)
+		if err != nil {
+			return nil, fmt.Errorf("scaling %s/%d: %w", name, n, err)
+		}
+		points = append(points, ScalingPoint{
+			App:         name,
+			Ranks:       n,
+			Events:      run.Trace.TotalEvents(),
+			TraceNodes:  run.Trace.NodeCount(),
+			Stmts:       prog.StmtCount(),
+			SourceBytes: len(conceptual.Print(prog)),
+		})
+	}
+	return points, nil
+}
+
+// ScalingTable renders the points.
+func ScalingTable(points []ScalingPoint) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-8s %6s %12s %12s %10s %12s\n",
+		"app", "ranks", "events", "trace nodes", "stmts", "source bytes")
+	for _, p := range points {
+		fmt.Fprintf(&sb, "%-8s %6d %12d %12d %10d %12d\n",
+			p.App, p.Ranks, p.Events, p.TraceNodes, p.Stmts, p.SourceBytes)
+	}
+	return sb.String()
+}

@@ -1,0 +1,273 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+)
+
+// myCommRank returns the caller's rank within c, panicking if the caller is
+// not a member (mirrors MPI's invalid-communicator error).
+func (r *Rank) myCommRank(c *Comm) int {
+	me, ok := c.CommRank(r.rank)
+	if !ok {
+		panic(fmt.Sprintf("mpi: rank %d is not a member of comm %d", r.rank, c.id))
+	}
+	return me
+}
+
+// runCollective executes one synchronizing collective with a cost that may
+// depend on all per-rank contributions, then records the event.
+func (r *Rank) runCollective(c *Comm, op Op, contrib any,
+	cost func(contribs []any) float64, ev *Event) {
+	st := r.enter()
+	me := r.myCommRank(c)
+	completion, shadowDone, _ := c.sync.arrive(me, op, r.clock, r.shadow, contrib,
+		func(maxClock float64, contribs []any) (float64, any) {
+			return maxClock + cost(contribs), nil
+		})
+	r.clock = completion
+	r.shadow = shadowDone
+	ev.Op = op
+	ev.CommID = c.id
+	ev.CommSize = c.Size()
+	ev.Peer = NoPeer
+	ev.PeerWorld = NoPeer
+	r.record(st, ev)
+}
+
+// maxContrib returns the largest int contribution of a collective round.
+func maxContrib(contribs []any) int {
+	max := 0
+	for _, c := range contribs {
+		if v, ok := c.(int); ok && v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Barrier blocks until every member of c has entered the barrier.
+func (r *Rank) Barrier(c *Comm) {
+	r.checkActive()
+	p := c.Size()
+	r.runCollective(c, OpBarrier, nil,
+		func([]any) float64 { return r.w.model.BarrierUS(p) },
+		&Event{Size: 0, Root: -1})
+}
+
+// Bcast broadcasts size bytes from the communicator-relative root.
+func (r *Rank) Bcast(c *Comm, root, size int) {
+	r.checkActive()
+	p := c.Size()
+	r.runCollective(c, OpBcast, size,
+		func(cs []any) float64 { return r.w.model.CollectiveUS(p, maxContrib(cs)) },
+		&Event{Size: size, Root: root})
+}
+
+// Reduce combines size bytes from every member at the root.
+func (r *Rank) Reduce(c *Comm, root, size int) {
+	r.checkActive()
+	p := c.Size()
+	r.runCollective(c, OpReduce, size,
+		func(cs []any) float64 { return r.w.model.CollectiveUS(p, maxContrib(cs)) },
+		&Event{Size: size, Root: root})
+}
+
+// Allreduce combines size bytes from every member and distributes the result
+// to all (two tree phases).
+func (r *Rank) Allreduce(c *Comm, size int) {
+	r.checkActive()
+	p := c.Size()
+	r.runCollective(c, OpAllreduce, size,
+		func(cs []any) float64 { return 2 * r.w.model.CollectiveUS(p, maxContrib(cs)) },
+		&Event{Size: size, Root: -1})
+}
+
+// Gather collects size bytes from every member at the root.
+func (r *Rank) Gather(c *Comm, root, size int) {
+	r.checkActive()
+	p := c.Size()
+	r.runCollective(c, OpGather, size,
+		func(cs []any) float64 { return r.w.model.CollectiveUS(p, maxContrib(cs)) },
+		&Event{Size: size, Root: root})
+}
+
+// Gatherv collects a per-rank number of bytes (this rank contributes size)
+// at the root.
+func (r *Rank) Gatherv(c *Comm, root, size int) {
+	r.checkActive()
+	p := c.Size()
+	r.runCollective(c, OpGatherv, size,
+		func(cs []any) float64 { return r.w.model.CollectiveUS(p, maxContrib(cs)) },
+		&Event{Size: size, Root: root})
+}
+
+// Allgather collects size bytes from every member at every member.
+func (r *Rank) Allgather(c *Comm, size int) {
+	r.checkActive()
+	p := c.Size()
+	r.runCollective(c, OpAllgather, size,
+		func(cs []any) float64 { return 2 * r.w.model.CollectiveUS(p, maxContrib(cs)) },
+		&Event{Size: size, Root: -1})
+}
+
+// Allgatherv collects a per-rank number of bytes at every member.
+func (r *Rank) Allgatherv(c *Comm, size int) {
+	r.checkActive()
+	p := c.Size()
+	r.runCollective(c, OpAllgatherv, size,
+		func(cs []any) float64 { return 2 * r.w.model.CollectiveUS(p, maxContrib(cs)) },
+		&Event{Size: size, Root: -1})
+}
+
+// Scatter distributes size bytes from the root to each member.
+func (r *Rank) Scatter(c *Comm, root, size int) {
+	r.checkActive()
+	p := c.Size()
+	r.runCollective(c, OpScatter, size,
+		func(cs []any) float64 { return r.w.model.CollectiveUS(p, maxContrib(cs)) },
+		&Event{Size: size, Root: root})
+}
+
+// Scatterv distributes counts[i] bytes from the root to comm rank i. All
+// members must pass the same counts (SPMD convention).
+func (r *Rank) Scatterv(c *Comm, root int, counts []int) {
+	r.checkActive()
+	p := c.Size()
+	me := r.myCommRank(c)
+	mySize := 0
+	if me < len(counts) {
+		mySize = counts[me]
+	}
+	r.runCollective(c, OpScatterv, sumInts(counts),
+		func(cs []any) float64 { return r.w.model.CollectiveUS(p, maxContrib(cs)/maxInt(p, 1)) },
+		&Event{Size: mySize, Counts: append([]int(nil), counts...), Root: root})
+}
+
+// Alltoall exchanges size bytes between every pair of members.
+func (r *Rank) Alltoall(c *Comm, size int) {
+	r.checkActive()
+	p := c.Size()
+	r.runCollective(c, OpAlltoall, size,
+		func(cs []any) float64 { return r.w.model.AlltoallUS(p, maxContrib(cs)) },
+		&Event{Size: size, Root: -1})
+}
+
+// Alltoallv exchanges counts[i] bytes with comm rank i.
+func (r *Rank) Alltoallv(c *Comm, counts []int) {
+	r.checkActive()
+	p := c.Size()
+	total := sumInts(counts)
+	avg := 0
+	if p > 0 {
+		avg = total / p
+	}
+	r.runCollective(c, OpAlltoallv, avg,
+		func(cs []any) float64 { return r.w.model.AlltoallUS(p, maxContrib(cs)) },
+		&Event{Size: total, Counts: append([]int(nil), counts...), Root: -1})
+}
+
+// ReduceScatter combines counts[i] bytes across members and scatters segment
+// i to comm rank i.
+func (r *Rank) ReduceScatter(c *Comm, counts []int) {
+	r.checkActive()
+	p := c.Size()
+	total := sumInts(counts)
+	r.runCollective(c, OpReduceScatter, total,
+		func(cs []any) float64 { return 2 * r.w.model.CollectiveUS(p, maxContrib(cs)/maxInt(p, 1)) },
+		&Event{Size: total, Counts: append([]int(nil), counts...), Root: -1})
+}
+
+// CommSplit partitions c into disjoint communicators by color, ordering each
+// new communicator by (key, world rank), per MPI_Comm_split. A negative
+// color opts out and returns nil.
+func (r *Rank) CommSplit(c *Comm, color, key int) *Comm {
+	r.checkActive()
+	st := r.enter()
+	me := r.myCommRank(c)
+	contrib := splitKey{color: color, key: key, worldRank: r.rank}
+	completion, shadowDone, shared := c.sync.arrive(me, OpCommSplit, r.clock, r.shadow, contrib,
+		func(maxClock float64, contribs []any) (float64, any) {
+			groups := splitGroups(contribs)
+			// Assign new communicator IDs in sorted color order so that
+			// identical programs produce identical comm IDs run after run;
+			// trace comparison depends on this determinism.
+			colors := make([]int, 0, len(groups))
+			for col := range groups {
+				colors = append(colors, col)
+			}
+			sort.Ints(colors)
+			comms := make(map[int]*Comm, len(groups))
+			for _, col := range colors {
+				comms[col] = newComm(r.w, int(atomic.AddInt64(&r.w.nextCommID, 1)), groups[col])
+			}
+			return maxClock + r.w.model.BarrierUS(c.Size()), comms
+		})
+	r.clock = completion
+	r.shadow = shadowDone
+	comms := shared.(map[int]*Comm)
+	nc := comms[color]
+	ev := &Event{Op: OpCommSplit, CommID: c.id, CommSize: c.Size(),
+		Peer: NoPeer, PeerWorld: NoPeer, Root: -1}
+	if nc != nil {
+		ev.Group = nc.Group()
+		ev.NewCommID = nc.id
+	}
+	r.record(st, ev)
+	return nc
+}
+
+// CommDup duplicates c: a new communicator with identical membership.
+func (r *Rank) CommDup(c *Comm) *Comm {
+	r.checkActive()
+	st := r.enter()
+	me := r.myCommRank(c)
+	completion, shadowDone, shared := c.sync.arrive(me, OpCommDup, r.clock, r.shadow, nil,
+		func(maxClock float64, _ []any) (float64, any) {
+			nc := newComm(r.w, int(atomic.AddInt64(&r.w.nextCommID, 1)), c.group)
+			return maxClock + r.w.model.BarrierUS(c.Size()), nc
+		})
+	r.clock = completion
+	r.shadow = shadowDone
+	nc := shared.(*Comm)
+	r.record(st, &Event{Op: OpCommDup, CommID: c.id, CommSize: c.Size(),
+		Peer: NoPeer, PeerWorld: NoPeer, Root: -1,
+		Group: nc.Group(), NewCommID: nc.id})
+	return nc
+}
+
+// Finalize synchronizes all world ranks and marks the rank finished. The
+// paper's algorithms treat MPI_Finalize as a collective over the world
+// communicator; so does this runtime. Run calls Finalize automatically if
+// the body did not.
+func (r *Rank) Finalize() {
+	if r.finalized {
+		return
+	}
+	c := r.w.commWorld
+	st := r.enter()
+	me := r.myCommRank(c)
+	completion, shadowDone, _ := c.sync.arrive(me, OpFinalize, r.clock, r.shadow, nil,
+		func(maxClock float64, _ []any) (float64, any) { return maxClock, nil })
+	r.clock = completion
+	r.shadow = shadowDone
+	r.record(st, &Event{Op: OpFinalize, CommID: c.id, CommSize: c.Size(),
+		Peer: NoPeer, PeerWorld: NoPeer, Root: -1})
+	r.finalized = true
+}
+
+func sumInts(vs []int) int {
+	t := 0
+	for _, v := range vs {
+		t += v
+	}
+	return t
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

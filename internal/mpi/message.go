@@ -1,0 +1,192 @@
+package mpi
+
+import (
+	"math"
+	"sync"
+)
+
+// message is one in-flight point-to-point transfer. All ranks are world
+// ranks; communicator-relative ranks are translated before messages enter
+// the transport layer.
+type message struct {
+	src, dst int
+	tag      int
+	size     int
+	seq      uint64  // per-(src,dst) injection order, for non-overtaking
+	arrival  float64 // virtual time the payload is available at dst
+	// shadowArrival is the arrival on the stall-free shadow timeline used
+	// to measure offered load for the burst-throttle model.
+	shadowArrival float64
+	matched       bool // consumed by a posted receive
+	drained       bool // receive completed; credit returned
+}
+
+// postedRecv is a receive that has been posted (blocking Recv or Irecv) and
+// may or may not have been matched with a message yet.
+type postedRecv struct {
+	src, tag int // AnySource / AnyTag allowed
+	postTime float64
+	msg      *message // non-nil once matched
+}
+
+func (p *postedRecv) accepts(m *message) bool {
+	if p.msg != nil {
+		return false
+	}
+	if p.src != AnySource && p.src != m.src {
+		return false
+	}
+	if p.tag != AnyTag && p.tag != m.tag {
+		return false
+	}
+	return true
+}
+
+// mailbox is the per-rank transport endpoint: an unexpected-message queue, a
+// posted-receive queue, and flow-control accounting, all guarded by one
+// mutex. Senders deposit without blocking; receivers match and complete.
+type mailbox struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	unexpected []*message    // deposited, not yet matched (FIFO per src)
+	posted     []*postedRecv // posted, not yet matched (FIFO)
+
+	inflight  map[int]int // src -> deposited-but-not-drained count
+	lastDrain float64     // receiver clock at the most recent drain
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{inflight: make(map[int]int)}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+// deposit delivers a message. If a compatible posted receive exists the
+// message is attached to the earliest one; otherwise it joins the unexpected
+// queue. deposit never blocks (eager/buffered semantics).
+func (mb *mailbox) deposit(m *message) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	mb.inflight[m.src]++
+	for _, p := range mb.posted {
+		if p.accepts(m) {
+			p.msg = m
+			m.matched = true
+			mb.cond.Broadcast()
+			return
+		}
+	}
+	mb.unexpected = append(mb.unexpected, m)
+	mb.cond.Broadcast()
+}
+
+// post registers a receive and attempts to match it immediately against the
+// unexpected queue. Matching takes, among compatible messages, the lowest
+// sequence number per source; for AnySource the earliest virtual arrival
+// wins, with source rank breaking ties deterministically.
+func (mb *mailbox) post(src, tag int, now float64) *postedRecv {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	p := &postedRecv{src: src, tag: tag, postTime: now}
+	if m := mb.takeUnexpected(p); m != nil {
+		p.msg = m
+	} else {
+		mb.posted = append(mb.posted, p)
+	}
+	return p
+}
+
+// takeUnexpected removes and returns the best unexpected match for p, or nil.
+func (mb *mailbox) takeUnexpected(p *postedRecv) *message {
+	best := -1
+	for i, m := range mb.unexpected {
+		if p.src != AnySource && p.src != m.src {
+			continue
+		}
+		if p.tag != AnyTag && p.tag != m.tag {
+			continue
+		}
+		if best == -1 {
+			best = i
+			continue
+		}
+		b := mb.unexpected[best]
+		if m.src == b.src {
+			if m.seq < b.seq {
+				best = i
+			}
+			continue
+		}
+		if m.arrival < b.arrival || (m.arrival == b.arrival && m.src < b.src) {
+			best = i
+		}
+	}
+	if best == -1 {
+		return nil
+	}
+	m := mb.unexpected[best]
+	mb.unexpected = append(mb.unexpected[:best], mb.unexpected[best+1:]...)
+	m.matched = true
+	return m
+}
+
+// awaitMatch blocks until p has been matched by a depositor.
+func (mb *mailbox) awaitMatch(p *postedRecv) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for p.msg == nil {
+		mb.cond.Wait()
+	}
+	// Remove p from the posted queue.
+	for i, q := range mb.posted {
+		if q == p {
+			mb.posted = append(mb.posted[:i], mb.posted[i+1:]...)
+			break
+		}
+	}
+}
+
+// drain marks the receive of m complete at receiver virtual time now,
+// returning flow-control credit to the sender.
+func (mb *mailbox) drain(m *message, now float64) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if !m.drained {
+		m.drained = true
+		mb.inflight[m.src]--
+		if now > mb.lastDrain {
+			mb.lastDrain = now
+		}
+		mb.cond.Broadcast()
+	}
+}
+
+// awaitCredit blocks the sender of msg until the receiver has drained enough
+// of its backlog (inflight below window) or msg itself has been drained.
+// It returns the virtual time at which the stall resolved (the receiver's
+// drain clock), or senderClock if no stall occurred. window <= 0 disables
+// flow control.
+func (mb *mailbox) awaitCredit(msg *message, window int, senderClock float64) (resumeAt float64, stalled bool) {
+	if window <= 0 {
+		return senderClock, false
+	}
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for !msg.drained && mb.inflight[msg.src] > window {
+		stalled = true
+		mb.cond.Wait()
+	}
+	if stalled {
+		return math.Max(senderClock, mb.lastDrain), true
+	}
+	return senderClock, false
+}
+
+// pendingFrom reports how many messages from src are deposited but not yet
+// drained. Used by tests and the runtime's diagnostics.
+func (mb *mailbox) pendingFrom(src int) int {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	return mb.inflight[src]
+}

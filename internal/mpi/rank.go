@@ -1,0 +1,337 @@
+package mpi
+
+import (
+	"fmt"
+	"math"
+)
+
+// Rank is one simulated MPI process. All methods must be called from the
+// rank's own goroutine (the body function passed to Run).
+type Rank struct {
+	w         *World
+	rank      int
+	clock     float64 // virtual microseconds
+	lastOpEnd float64
+	tracer    Tracer
+	seq       map[int]uint64 // per-destination send sequence numbers
+	finalized bool
+
+	// shadow is a parallel clock that advances exactly like clock except
+	// that congestion stalls (burst throttling, flow-control resume) never
+	// touch it: the timeline the application would follow on an unsaturated
+	// network. Burst throttling measures per-destination offered gaps on
+	// this timeline, so the penalty reflects the application's offered load
+	// rather than its own stalled schedule (which would otherwise feed back
+	// into the measurement).
+	shadow float64
+	// opCount numbers this rank's operations for the deterministic noise
+	// stream.
+	opCount uint64
+	// lastInject records, per flow (destination and message size), the
+	// shadow time of the previous injection. Keying by flow makes the
+	// measured period the application's per-stream cadence (face exchanges
+	// vs solver pipelines are separate streams), matching per-path flow
+	// control; size rather than tag identifies the stream so that
+	// generated benchmarks — whose target language has no tags — see the
+	// same flows as the original application.
+	lastInject map[flowKey]float64
+}
+
+// flowKey identifies one sender-side message stream.
+type flowKey struct {
+	dst, size int
+}
+
+// Rank returns the world rank of this process.
+func (r *Rank) Rank() int { return r.rank }
+
+// Size returns the world size.
+func (r *Rank) Size() int { return r.w.n }
+
+// World returns the communicator containing every rank (MPI_COMM_WORLD).
+func (r *Rank) World() *Comm { return r.w.commWorld }
+
+// Clock returns the rank's current virtual time in microseconds.
+func (r *Rank) Clock() float64 { return r.clock }
+
+// Compute advances the rank's virtual clock by us microseconds, modeling a
+// computation phase between communication calls. Negative durations are
+// ignored.
+func (r *Rank) Compute(us float64) {
+	if us > 0 {
+		r.opCount++
+		us += r.w.model.NoiseUS(us, r.rank, r.opCount, 1)
+		r.clock += us
+		r.shadow += us
+	}
+}
+
+// Status reports the outcome of a completed receive (or send).
+type Status struct {
+	// Source is the communicator-relative rank of the sender.
+	Source int
+	// SourceWorld is the sender's absolute rank.
+	SourceWorld int
+	// Tag is the matched message's tag.
+	Tag int
+	// Size is the matched message's size in bytes.
+	Size int
+}
+
+// Request represents an outstanding nonblocking operation.
+type Request struct {
+	op     Op
+	comm   *Comm
+	msg    *message    // send side
+	pr     *postedRecv // recv side
+	dst    *mailbox    // send side: receiver's mailbox, for flow control
+	done   bool
+	status Status
+}
+
+// Done reports whether the request has been completed by a Wait.
+func (q *Request) Done() bool { return q.done }
+
+// entryState snapshots the rank at the start of an MPI call.
+type entryState struct {
+	start   float64
+	compute float64
+	site    uint64
+}
+
+func (r *Rank) enter() entryState {
+	st := entryState{start: r.clock, compute: r.clock - r.lastOpEnd}
+	if r.tracer != nil {
+		st.site = callSite()
+	}
+	return st
+}
+
+func (r *Rank) record(st entryState, ev *Event) {
+	r.lastOpEnd = r.clock
+	if r.tracer == nil {
+		return
+	}
+	ev.Rank = r.rank
+	ev.CallSite = st.site
+	ev.ComputeUS = st.compute
+	ev.StartUS = st.start
+	ev.EndUS = r.clock
+	r.tracer.Record(ev)
+}
+
+func (r *Rank) checkActive() {
+	if r.finalized {
+		panic(fmt.Sprintf("mpi: rank %d used after Finalize", r.rank))
+	}
+}
+
+// inject creates and deposits a message to world rank wdst, returning it.
+// The sender pays its send overhead; the arrival time includes the wire
+// transfer per the network model.
+func (r *Rank) inject(wdst, tag, size int) *message {
+	m := r.w.model
+	r.opCount++
+	r.clock += m.SendOverheadUS
+	r.shadow += m.SendOverheadUS
+	transfer := m.TransferUS(size)
+	transfer += m.NoiseUS(transfer, r.rank, r.opCount, 2)
+	msg := &message{
+		src:           r.rank,
+		dst:           wdst,
+		tag:           tag,
+		size:          size,
+		seq:           r.seq[wdst],
+		arrival:       r.clock + transfer,
+		shadowArrival: r.shadow + transfer,
+	}
+	r.seq[wdst]++
+	r.w.mailboxes[wdst].deposit(msg)
+	if m.FlowSaturationFactor > 0 && size > m.EagerLimit {
+		// Burst throttling: offering bulk messages to one peer faster than
+		// the path drains stalls the sender (buffer exhaustion + resume
+		// cost). The message above has already departed; the stall delays
+		// the sender's subsequent progress only, and the offered gap is
+		// read from the stall-free shadow timeline. Eager messages are
+		// absorbed by preallocated buffers and neither stall nor count
+		// toward the offered load.
+		key := flowKey{dst: wdst, size: size}
+		if last, seen := r.lastInject[key]; seen {
+			r.clock += m.BurstStallUS(size, r.shadow-last)
+		}
+		r.lastInject[key] = r.shadow
+	}
+	return msg
+}
+
+// stallForCredit models MPI flow control: the sender blocks until the
+// receiver has drained its backlog below the credit window, then pays the
+// resume latency.
+func (r *Rank) stallForCredit(mb *mailbox, msg *message) {
+	m := r.w.model
+	resumeAt, stalled := mb.awaitCredit(msg, m.CreditWindow, r.clock)
+	if stalled {
+		r.clock = math.Max(r.clock, resumeAt) + m.ResumeLatencyUS
+	}
+}
+
+// completeRecv finishes the receive described by p on this rank, charging
+// arrival wait, receive overhead and — for messages that arrived (in virtual
+// time) before the receive was posted — the unexpected-queue copy penalty.
+// Whether the message is "unexpected" is a virtual-time property
+// (arrival <= post time), independent of which goroutine physically ran
+// first; this keeps timing deterministic under real scheduling races.
+func (r *Rank) completeRecv(p *postedRecv) {
+	m := r.w.model
+	msg := p.msg
+	r.clock = math.Max(r.clock, msg.arrival) + m.RecvOverheadUS
+	r.shadow = math.Max(r.shadow, msg.shadowArrival) + m.RecvOverheadUS
+	if msg.arrival <= p.postTime {
+		penalty := m.UnexpectedCopyUS(msg.size)
+		r.clock += penalty
+		r.shadow += penalty
+	}
+	r.w.mailboxes[r.rank].drain(msg, r.clock)
+}
+
+func (r *Rank) statusOf(c *Comm, msg *message) Status {
+	src, ok := c.CommRank(msg.src)
+	if !ok {
+		src = -1 // sender outside this communicator (app error, but don't panic)
+	}
+	return Status{Source: src, SourceWorld: msg.src, Tag: msg.tag, Size: msg.size}
+}
+
+// Send performs a blocking standard-mode send of size bytes to the
+// communicator-relative rank dst. Buffering is eager, so Send does not wait
+// for a matching receive, but it does block on flow control when the
+// receiver's backlog exceeds the credit window.
+func (r *Rank) Send(c *Comm, dst, tag, size int) {
+	r.checkActive()
+	st := r.enter()
+	wdst := c.WorldRank(dst)
+	msg := r.inject(wdst, tag, size)
+	r.stallForCredit(r.w.mailboxes[wdst], msg)
+	r.record(st, &Event{Op: OpSend, CommID: c.id, CommSize: c.Size(),
+		Peer: dst, PeerWorld: wdst, Tag: tag, Size: size, Root: -1})
+}
+
+// Isend starts a nonblocking send and returns its request. Flow-control
+// stalls, if any, are charged when the request is waited on.
+func (r *Rank) Isend(c *Comm, dst, tag, size int) *Request {
+	r.checkActive()
+	st := r.enter()
+	wdst := c.WorldRank(dst)
+	msg := r.inject(wdst, tag, size)
+	req := &Request{op: OpIsend, comm: c, msg: msg, dst: r.w.mailboxes[wdst]}
+	r.record(st, &Event{Op: OpIsend, CommID: c.id, CommSize: c.Size(),
+		Peer: dst, PeerWorld: wdst, Tag: tag, Size: size, Root: -1})
+	return req
+}
+
+// Recv performs a blocking receive of up to size bytes from the
+// communicator-relative rank src (or AnySource) with the given tag (or
+// AnyTag). size plays the role of MPI's count argument: it is recorded in
+// the trace but does not constrain matching. Recv returns the matched
+// message's status.
+func (r *Rank) Recv(c *Comm, src, tag, size int) Status {
+	r.checkActive()
+	st := r.enter()
+	wsrc := src
+	if src != AnySource {
+		wsrc = c.WorldRank(src)
+	}
+	mb := r.w.mailboxes[r.rank]
+	p := mb.post(wsrc, tag, r.clock)
+	mb.awaitMatch(p)
+	r.completeRecv(p)
+	status := r.statusOf(c, p.msg)
+	r.record(st, &Event{Op: OpRecv, CommID: c.id, CommSize: c.Size(),
+		Peer: src, PeerWorld: p.msg.src, SourceWasWildcard: src == AnySource,
+		Tag: tag, Size: size, Root: -1})
+	return status
+}
+
+// Irecv posts a nonblocking receive of up to size bytes and returns its
+// request.
+func (r *Rank) Irecv(c *Comm, src, tag, size int) *Request {
+	r.checkActive()
+	st := r.enter()
+	wsrc := src
+	if src != AnySource {
+		wsrc = c.WorldRank(src)
+	}
+	p := r.w.mailboxes[r.rank].post(wsrc, tag, r.clock)
+	req := &Request{op: OpIrecv, comm: c, pr: p}
+	// The traced event keeps the wildcard unresolved (Peer/PeerWorld filled
+	// at Wait time for the PeerWorld side).
+	r.record(st, &Event{Op: OpIrecv, CommID: c.id, CommSize: c.Size(),
+		Peer: src, PeerWorld: wsrc, SourceWasWildcard: src == AnySource,
+		Tag: tag, Size: size, Root: -1})
+	return req
+}
+
+// wait completes a single request without emitting a trace event; Wait and
+// Waitall wrap it.
+func (r *Rank) wait(q *Request) Status {
+	if q.done {
+		return q.status
+	}
+	switch q.op {
+	case OpIsend:
+		r.stallForCredit(q.dst, q.msg)
+		q.status = Status{Tag: q.msg.tag, Size: q.msg.size}
+	case OpIrecv:
+		r.w.mailboxes[r.rank].awaitMatch(q.pr)
+		r.completeRecv(q.pr)
+		q.status = r.statusOf(q.comm, q.pr.msg)
+	default:
+		panic(fmt.Sprintf("mpi: wait on non-request op %v", q.op))
+	}
+	q.done = true
+	return q.status
+}
+
+// Wait blocks until the nonblocking request completes.
+func (r *Rank) Wait(q *Request) Status {
+	r.checkActive()
+	st := r.enter()
+	s := r.wait(q)
+	r.record(st, &Event{Op: OpWait, CommID: q.comm.id, CommSize: q.comm.Size(),
+		Peer: NoPeer, PeerWorld: NoPeer, Size: 1, Root: -1})
+	return s
+}
+
+// Waitall completes all given requests. Receive requests are drained first
+// so that flow-control credits are returned before send stalls are served;
+// this mirrors an MPI progress engine and avoids artificial deadlock between
+// mutually stalled senders.
+func (r *Rank) Waitall(reqs ...*Request) []Status {
+	r.checkActive()
+	st := r.enter()
+	statuses := make([]Status, len(reqs))
+	commID, commSize := 0, r.w.n
+	for i, q := range reqs {
+		if q.op == OpIrecv {
+			statuses[i] = r.wait(q)
+		}
+		commID, commSize = q.comm.id, q.comm.Size()
+	}
+	for i, q := range reqs {
+		if q.op != OpIrecv {
+			statuses[i] = r.wait(q)
+		}
+	}
+	r.record(st, &Event{Op: OpWaitall, CommID: commID, CommSize: commSize,
+		Peer: NoPeer, PeerWorld: NoPeer, Size: len(reqs), Root: -1})
+	return statuses
+}
+
+// Sendrecv performs a combined send and receive (as MPI_Sendrecv), which is
+// deadlock-safe under the runtime's eager buffering.
+func (r *Rank) Sendrecv(c *Comm, dst, sendTag, sendSize, src, recvTag, recvSize int) Status {
+	sreq := r.Isend(c, dst, sendTag, sendSize)
+	rreq := r.Irecv(c, src, recvTag, recvSize)
+	statuses := r.Waitall(rreq, sreq)
+	return statuses[0]
+}

@@ -1,0 +1,117 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"runtime"
+	"strings"
+)
+
+// Event describes one completed MPI operation as observed by the PMPI-style
+// hook layer. The trace package compresses streams of Events into RSDs.
+type Event struct {
+	// Op is the operation performed.
+	Op Op
+	// Rank is the world rank of the calling process.
+	Rank int
+	// CallSite is a stable hash of the call path that issued the operation
+	// (ScalaTrace's stack signature). Two ranks executing the same source
+	// location produce the same CallSite.
+	CallSite uint64
+
+	// CommID identifies the communicator; 0 is the world communicator.
+	CommID int
+	// CommSize is the communicator size at the time of the call.
+	CommSize int
+
+	// Peer is the communicator-relative peer rank: destination for sends,
+	// source for receives (possibly AnySource). Unused ops carry -2.
+	Peer int
+	// PeerWorld is the absolute (world) peer rank. For wildcard receives it
+	// holds the world rank of the sender that actually matched, while Peer
+	// retains AnySource — mirroring ScalaTrace, which does not resolve
+	// wildcards at trace time.
+	PeerWorld int
+	// SourceWasWildcard records that the receive was posted with AnySource.
+	SourceWasWildcard bool
+
+	// Tag is the message tag (pt2pt only).
+	Tag int
+	// Size is the per-rank payload in bytes: the message size for pt2pt,
+	// this rank's contribution for collectives, and the number of completed
+	// requests for Wait/Waitall.
+	Size int
+	// Counts carries per-peer byte counts for the v-variant collectives.
+	Counts []int
+	// Root is the communicator-relative root of rooted collectives, -1
+	// otherwise.
+	Root int
+
+	// Group is the comm-rank-to-world-rank mapping of a newly created
+	// communicator (CommSplit/CommDup), nil otherwise.
+	Group []int
+	// NewCommID is the identifier of the communicator created by
+	// CommSplit/CommDup, 0 otherwise.
+	NewCommID int
+
+	// ComputeUS is the virtual computation time that elapsed on this rank
+	// between the end of the previous MPI call and the start of this one —
+	// ScalaTrace's inter-call delta time.
+	ComputeUS float64
+	// StartUS and EndUS are the operation's virtual start and completion
+	// times on this rank.
+	StartUS, EndUS float64
+}
+
+// NoPeer marks the Peer field of operations without a peer.
+const NoPeer = -2
+
+// Tracer observes every MPI operation a rank performs, in program order.
+// Implementations must be safe for use from the rank's goroutine only; the
+// runtime creates one Tracer per rank.
+type Tracer interface {
+	Record(ev *Event)
+}
+
+// MultiTracer fans one rank's events out to several tracers (e.g. a
+// ScalaTrace collector plus an mpiP profiler).
+type MultiTracer []Tracer
+
+// Record forwards the event to each tracer in order.
+func (m MultiTracer) Record(ev *Event) {
+	for _, t := range m {
+		t.Record(ev)
+	}
+}
+
+// callSite hashes the current call path, excluding the runtime's own API
+// frames ((*Rank) methods and this helper), producing ScalaTrace's
+// per-call-site stack signature. Caller frames — including closures inside
+// this package's tests — are hashed by source file and line rather than by
+// program counter: the compiler may inline a closure into several call
+// sites, duplicating its code, and the signature of one source location
+// must stay identical across such copies (and across ranks).
+func callSite() uint64 {
+	var pcs [48]uintptr
+	n := runtime.Callers(2, pcs[:])
+	frames := runtime.CallersFrames(pcs[:n])
+	h := fnv.New64a()
+	var buf [8]byte
+	for {
+		f, more := frames.Next()
+		if f.Function != "" && !isRuntimeFrame(f.Function) {
+			h.Write([]byte(f.File))
+			binary.LittleEndian.PutUint64(buf[:], uint64(f.Line))
+			h.Write(buf[:])
+		}
+		if !more {
+			break
+		}
+	}
+	return h.Sum64()
+}
+
+func isRuntimeFrame(fn string) bool {
+	return strings.Contains(fn, "internal/mpi.(*Rank).") ||
+		strings.HasSuffix(fn, "internal/mpi.callSite")
+}

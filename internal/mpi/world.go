@@ -1,0 +1,140 @@
+package mpi
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"repro/internal/netmodel"
+)
+
+// World is one simulated machine execution: n ranks, a network model, and
+// the transport state connecting them.
+type World struct {
+	n          int
+	model      *netmodel.Model
+	mailboxes  []*mailbox
+	commWorld  *Comm
+	nextCommID int64
+}
+
+// Result reports the outcome of a completed run.
+type Result struct {
+	// PerRankUS holds each rank's final virtual clock in microseconds.
+	PerRankUS []float64
+	// ElapsedUS is the maximum final clock: the job's virtual makespan.
+	ElapsedUS float64
+}
+
+type config struct {
+	tracerFor func(rank int) Tracer
+	timeout   time.Duration
+}
+
+// Option configures a Run.
+type Option func(*config)
+
+// WithTracer installs a per-rank tracer factory (the PMPI hook).
+func WithTracer(f func(rank int) Tracer) Option {
+	return func(c *config) { c.tracerFor = f }
+}
+
+// WithTimeout bounds the real (wall-clock) duration of the run. A run that
+// exceeds it is reported as a suspected deadlock. The default is 60 seconds.
+func WithTimeout(d time.Duration) Option {
+	return func(c *config) { c.timeout = d }
+}
+
+// Run executes body on n simulated ranks over the given network model and
+// waits for completion. Each rank runs in its own goroutine with its own
+// virtual clock. Run returns an error if any rank panics or if the run does
+// not complete within the (real-time) timeout, which almost always indicates
+// a messaging deadlock in body.
+func Run(n int, model *netmodel.Model, body func(*Rank), opts ...Option) (*Result, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("mpi: world size %d must be positive", n)
+	}
+	if model == nil {
+		model = netmodel.Ideal()
+	}
+	cfg := config{timeout: 60 * time.Second}
+	for _, o := range opts {
+		o(&cfg)
+	}
+
+	w := &World{n: n, model: model, mailboxes: make([]*mailbox, n)}
+	for i := range w.mailboxes {
+		w.mailboxes[i] = newMailbox()
+	}
+	group := make([]int, n)
+	for i := range group {
+		group[i] = i
+	}
+	w.commWorld = newComm(w, 0, group)
+
+	ranks := make([]*Rank, n)
+	for i := range ranks {
+		ranks[i] = &Rank{w: w, rank: i, seq: make(map[int]uint64),
+			lastInject: make(map[flowKey]float64)}
+		if cfg.tracerFor != nil {
+			ranks[i].tracer = cfg.tracerFor(i)
+		}
+	}
+
+	var (
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicked []error
+	)
+	for _, r := range ranks {
+		wg.Add(1)
+		go func(r *Rank) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panicMu.Lock()
+					panicked = append(panicked,
+						fmt.Errorf("mpi: rank %d panicked: %v\n%s", r.rank, p, debug.Stack()))
+					panicMu.Unlock()
+				}
+			}()
+			r.record(r.enter(), &Event{Op: OpInit, CommID: 0, CommSize: n,
+				Peer: NoPeer, PeerWorld: NoPeer, Root: -1})
+			body(r)
+			r.Finalize()
+		}(r)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	timedOut := false
+	select {
+	case <-done:
+	case <-time.After(cfg.timeout):
+		timedOut = true
+	}
+
+	// A panicking rank leaves its peers blocked, so a timeout often masks a
+	// panic; report the panic when one was captured.
+	panicMu.Lock()
+	defer panicMu.Unlock()
+	if len(panicked) > 0 {
+		return nil, panicked[0]
+	}
+	if timedOut {
+		return nil, fmt.Errorf("mpi: run did not complete within %v (deadlock suspected)", cfg.timeout)
+	}
+
+	res := &Result{PerRankUS: make([]float64, n)}
+	for i, r := range ranks {
+		res.PerRankUS[i] = r.clock
+		if r.clock > res.ElapsedUS {
+			res.ElapsedUS = r.clock
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,134 @@
+// Package mpip is the reproduction's analogue of the mpiP profiling library
+// the paper uses in Section 5.2: it attaches to a run through the runtime's
+// PMPI-style hook and gathers, per MPI operation, the call count and message
+// volume. Comparing the profile of an original application with the profile
+// of its generated benchmark is the paper's first correctness check.
+package mpip
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/mpi"
+)
+
+// Profile aggregates per-operation statistics across all ranks of a run.
+// It is safe for concurrent use by all rank tracers.
+type Profile struct {
+	mu     sync.Mutex
+	counts [mpi.NumOps]int64
+	bytes  [mpi.NumOps]int64
+}
+
+// NewProfile returns an empty profile.
+func NewProfile() *Profile { return &Profile{} }
+
+// TracerFor returns the per-rank tracer hook; pass it to mpi.WithTracer.
+func (p *Profile) TracerFor(rank int) mpi.Tracer { return (*profTracer)(p) }
+
+type profTracer Profile
+
+// Record accumulates one event. Volume accounting follows mpiP: the bytes an
+// operation names in its arguments (message size for point-to-point, the
+// rank's contribution for collectives). Wait operations carry no volume.
+func (t *profTracer) Record(ev *mpi.Event) {
+	p := (*Profile)(t)
+	p.mu.Lock()
+	p.counts[ev.Op]++
+	if !ev.Op.IsWait() {
+		p.bytes[ev.Op] += int64(ev.Size)
+	}
+	p.mu.Unlock()
+}
+
+// Count returns the number of calls observed for op across all ranks.
+func (p *Profile) Count(op mpi.Op) int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.counts[op]
+}
+
+// Bytes returns the total volume observed for op across all ranks.
+func (p *Profile) Bytes(op mpi.Op) int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.bytes[op]
+}
+
+// TotalCalls returns the number of MPI calls of any kind.
+func (p *Profile) TotalCalls() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var t int64
+	for _, c := range p.counts {
+		t += c
+	}
+	return t
+}
+
+// TotalBytes returns the total message volume of any kind.
+func (p *Profile) TotalBytes() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var t int64
+	for _, b := range p.bytes {
+		t += b
+	}
+	return t
+}
+
+// Diff describes one per-operation discrepancy between two profiles.
+type Diff struct {
+	Op             mpi.Op
+	CountA, CountB int64
+	BytesA, BytesB int64
+}
+
+func (d Diff) String() string {
+	return fmt.Sprintf("%s: calls %d vs %d, bytes %d vs %d",
+		d.Op, d.CountA, d.CountB, d.BytesA, d.BytesB)
+}
+
+// Compare returns the per-operation differences between two profiles.
+// An empty result means the profiles match perfectly, the paper's criterion
+// for communication correctness. Wait-family and Init operations are
+// compared by count only; volume fields are informational there.
+func Compare(a, b *Profile) []Diff {
+	var diffs []Diff
+	for op := mpi.Op(0); int(op) < mpi.NumOps; op++ {
+		ca, ba := a.Count(op), a.Bytes(op)
+		cb, bb := b.Count(op), b.Bytes(op)
+		if ca != cb || ba != bb {
+			diffs = append(diffs, Diff{Op: op, CountA: ca, CountB: cb, BytesA: ba, BytesB: bb})
+		}
+	}
+	return diffs
+}
+
+// String renders an mpiP-style report, one line per operation that was
+// called at least once, sorted by name.
+func (p *Profile) String() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	type row struct {
+		name  string
+		calls int64
+		bytes int64
+	}
+	var rows []row
+	for op := mpi.Op(0); int(op) < mpi.NumOps; op++ {
+		if p.counts[op] > 0 {
+			rows = append(rows, row{op.String(), p.counts[op], p.bytes[op]})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	var sb strings.Builder
+	sb.WriteString("@--- MPI Time and Message Statistics ---\n")
+	fmt.Fprintf(&sb, "%-16s %12s %16s\n", "Call", "Count", "Bytes")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-16s %12d %16d\n", r.name, r.calls, r.bytes)
+	}
+	return sb.String()
+}

@@ -1,0 +1,135 @@
+package mpip
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/netmodel"
+)
+
+func profileOf(t *testing.T, n int, body func(*mpi.Rank)) *Profile {
+	t.Helper()
+	p := NewProfile()
+	if _, err := mpi.Run(n, netmodel.Ideal(), body, mpi.WithTracer(p.TracerFor)); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return p
+}
+
+func ringBody(size int) func(*mpi.Rank) {
+	return func(r *mpi.Rank) {
+		n := r.Size()
+		c := r.World()
+		for i := 0; i < 3; i++ {
+			rq := r.Irecv(c, (r.Rank()+n-1)%n, 0, size)
+			sq := r.Isend(c, (r.Rank()+1)%n, 0, size)
+			r.Waitall(rq, sq)
+		}
+		r.Allreduce(c, 8)
+	}
+}
+
+func TestProfileCounts(t *testing.T) {
+	n := 4
+	p := profileOf(t, n, ringBody(1000))
+	if got := p.Count(mpi.OpIsend); got != int64(3*n) {
+		t.Fatalf("Isend count = %d, want %d", got, 3*n)
+	}
+	if got := p.Count(mpi.OpIrecv); got != int64(3*n) {
+		t.Fatalf("Irecv count = %d, want %d", got, 3*n)
+	}
+	if got := p.Count(mpi.OpWaitall); got != int64(3*n) {
+		t.Fatalf("Waitall count = %d, want %d", got, 3*n)
+	}
+	if got := p.Count(mpi.OpAllreduce); got != int64(n) {
+		t.Fatalf("Allreduce count = %d, want %d", got, n)
+	}
+	if got := p.Count(mpi.OpInit); got != int64(n) {
+		t.Fatalf("Init count = %d, want %d", got, n)
+	}
+	if got := p.Count(mpi.OpFinalize); got != int64(n) {
+		t.Fatalf("Finalize count = %d, want %d", got, n)
+	}
+}
+
+func TestProfileBytes(t *testing.T) {
+	n := 4
+	p := profileOf(t, n, ringBody(1000))
+	if got := p.Bytes(mpi.OpIsend); got != int64(3*n*1000) {
+		t.Fatalf("Isend bytes = %d, want %d", got, 3*n*1000)
+	}
+	if got := p.Bytes(mpi.OpAllreduce); got != int64(8*n) {
+		t.Fatalf("Allreduce bytes = %d, want %d", got, 8*n)
+	}
+	// Wait operations must not contribute volume even though their events
+	// carry a request count in Size.
+	if got := p.Bytes(mpi.OpWaitall); got != 0 {
+		t.Fatalf("Waitall bytes = %d, want 0", got)
+	}
+}
+
+func TestTotals(t *testing.T) {
+	p := profileOf(t, 2, func(r *mpi.Rank) {
+		if r.Rank() == 0 {
+			r.Send(r.World(), 1, 0, 77)
+		} else {
+			r.Recv(r.World(), 0, 0, 77)
+		}
+	})
+	// Init x2, Send, Recv, Finalize x2.
+	if got := p.TotalCalls(); got != 6 {
+		t.Fatalf("total calls = %d, want 6", got)
+	}
+	if got := p.TotalBytes(); got != 154 {
+		t.Fatalf("total bytes = %d, want 154", got)
+	}
+}
+
+func TestCompareIdenticalRuns(t *testing.T) {
+	a := profileOf(t, 4, ringBody(512))
+	b := profileOf(t, 4, ringBody(512))
+	if diffs := Compare(a, b); len(diffs) != 0 {
+		t.Fatalf("identical runs differ: %v", diffs)
+	}
+}
+
+func TestCompareDetectsDifferences(t *testing.T) {
+	a := profileOf(t, 4, ringBody(512))
+	b := profileOf(t, 4, ringBody(513))
+	diffs := Compare(a, b)
+	if len(diffs) == 0 {
+		t.Fatal("differing runs compared equal")
+	}
+	found := false
+	for _, d := range diffs {
+		if d.Op == mpi.OpIsend {
+			found = true
+			if d.CountA != d.CountB {
+				t.Errorf("counts should match, only bytes differ: %v", d)
+			}
+			if d.BytesA == d.BytesB {
+				t.Errorf("bytes should differ: %v", d)
+			}
+		}
+		if d.String() == "" {
+			t.Error("empty diff string")
+		}
+	}
+	if !found {
+		t.Fatalf("no Isend diff in %v", diffs)
+	}
+}
+
+func TestReportFormat(t *testing.T) {
+	p := profileOf(t, 2, ringBody(64))
+	rep := p.String()
+	for _, want := range []string{"Isend", "Irecv", "Waitall", "Allreduce", "Finalize", "Count", "Bytes"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+	if strings.Contains(rep, "Alltoall ") {
+		t.Error("report lists operations that never ran")
+	}
+}

@@ -1,0 +1,150 @@
+// Package replay is the reproduction's ScalaReplay: it re-executes a
+// compressed communication trace on the simulated MPI runtime, issuing the
+// recorded operations with the recorded compute times. Section 5.2 of the
+// paper replays both the original application's trace and the generated
+// benchmark's trace to compare them free of spurious structural differences;
+// Equivalent implements that comparison.
+package replay
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+	"repro/internal/netmodel"
+	"repro/internal/trace"
+)
+
+// Replay executes the trace on n simulated ranks and returns the runtime's
+// result. Extra mpi options (tracers, profilers, timeouts) may be supplied —
+// replaying under a Collector yields a re-trace.
+func Replay(t *trace.Trace, model *netmodel.Model, opts ...mpi.Option) (*mpi.Result, error) {
+	if t.N <= 0 {
+		return nil, fmt.Errorf("replay: trace has no ranks")
+	}
+	body := func(r *mpi.Rank) {
+		rp := &replayer{t: t, rank: r, comms: map[int]*mpi.Comm{0: r.World()}}
+		g := t.GroupOf(r.Rank())
+		if g == nil {
+			return
+		}
+		for c := trace.NewCursor(g.Seq, r.Rank()); !c.Done(); c.Advance() {
+			rp.play(c.Cur(), c.InnermostIter() == 0)
+		}
+		if len(rp.outstanding) > 0 {
+			r.Waitall(rp.outstanding...)
+		}
+	}
+	return mpi.Run(t.N, model, body, opts...)
+}
+
+type replayer struct {
+	t           *trace.Trace
+	rank        *mpi.Rank
+	comms       map[int]*mpi.Comm
+	outstanding []*mpi.Request
+}
+
+// comm returns the live communicator for a trace comm ID, falling back to
+// the world communicator for unknown IDs.
+func (rp *replayer) comm(id int) *mpi.Comm {
+	if c, ok := rp.comms[id]; ok {
+		return c
+	}
+	return rp.rank.World()
+}
+
+// peer resolves the RSD's peer parameter for this rank within the given
+// communicator.
+func (rp *replayer) peer(leaf *trace.RSD) int {
+	if leaf.Peer.Kind == trace.ParamAny {
+		return mpi.AnySource
+	}
+	return leaf.PeerFor(rp.rank.Rank(), rp.t)
+}
+
+func (rp *replayer) play(leaf *trace.RSD, firstIter bool) {
+	rp.rank.Compute(leaf.ComputeMeanAt(firstIter))
+	c := rp.comm(leaf.CommID)
+	switch leaf.Op {
+	case mpi.OpInit:
+		// Init is implicit in the runtime.
+	case mpi.OpFinalize:
+		// Finalize is issued by the runtime after the body returns; drain
+		// outstanding requests so it can complete.
+		if len(rp.outstanding) > 0 {
+			rp.rank.Waitall(rp.outstanding...)
+			rp.outstanding = rp.outstanding[:0]
+		}
+	case mpi.OpSend:
+		rp.rank.Send(c, rp.peer(leaf), leaf.Tag, leaf.Size)
+	case mpi.OpIsend:
+		rp.outstanding = append(rp.outstanding, rp.rank.Isend(c, rp.peer(leaf), leaf.Tag, leaf.Size))
+	case mpi.OpRecv:
+		rp.rank.Recv(c, rp.peer(leaf), leaf.Tag, leaf.Size)
+	case mpi.OpIrecv:
+		rp.outstanding = append(rp.outstanding, rp.rank.Irecv(c, rp.peer(leaf), leaf.Tag, leaf.Size))
+	case mpi.OpWait, mpi.OpWaitall:
+		if len(rp.outstanding) > 0 {
+			rp.rank.Waitall(rp.outstanding...)
+			rp.outstanding = rp.outstanding[:0]
+		}
+	case mpi.OpBarrier:
+		rp.rank.Barrier(c)
+	case mpi.OpBcast:
+		rp.rank.Bcast(c, leaf.Root, leaf.Size)
+	case mpi.OpReduce:
+		rp.rank.Reduce(c, leaf.Root, leaf.Size)
+	case mpi.OpAllreduce:
+		rp.rank.Allreduce(c, leaf.Size)
+	case mpi.OpGather:
+		rp.rank.Gather(c, leaf.Root, leaf.Size)
+	case mpi.OpGatherv:
+		rp.rank.Gatherv(c, leaf.Root, rp.mySizeOf(leaf))
+	case mpi.OpAllgather:
+		rp.rank.Allgather(c, leaf.Size)
+	case mpi.OpAllgatherv:
+		rp.rank.Allgatherv(c, rp.mySizeOf(leaf))
+	case mpi.OpScatter:
+		rp.rank.Scatter(c, leaf.Root, leaf.Size)
+	case mpi.OpScatterv:
+		rp.rank.Scatterv(c, leaf.Root, leaf.Counts)
+	case mpi.OpAlltoall:
+		rp.rank.Alltoall(c, leaf.Size)
+	case mpi.OpAlltoallv:
+		rp.rank.Alltoallv(c, leaf.Counts)
+	case mpi.OpReduceScatter:
+		rp.rank.ReduceScatter(c, leaf.Counts)
+	case mpi.OpCommSplit:
+		// Members of the same new communicator share a color; the recorded
+		// group order is reproduced through the key.
+		color, key := -1, 0
+		if leaf.NewCommID != 0 {
+			color = leaf.NewCommID
+			for i, w := range rp.t.CommGroup(leaf.NewCommID) {
+				if w == rp.rank.Rank() {
+					key = i
+				}
+			}
+		}
+		if sub := rp.rank.CommSplit(c, color, key); sub != nil && leaf.NewCommID != 0 {
+			rp.comms[leaf.NewCommID] = sub
+		}
+	case mpi.OpCommDup:
+		sub := rp.rank.CommDup(c)
+		if leaf.NewCommID != 0 {
+			rp.comms[leaf.NewCommID] = sub
+		}
+	}
+}
+
+// mySizeOf returns this rank's contribution for a v-collective leaf: its
+// comm-rank entry of Counts when present, the (possibly averaged) Size
+// otherwise.
+func (rp *replayer) mySizeOf(leaf *trace.RSD) int {
+	if len(leaf.Counts) > 0 {
+		if me, ok := rp.t.CommRankOf(leaf.CommID, rp.rank.Rank()); ok && me < len(leaf.Counts) {
+			return leaf.Counts[me]
+		}
+	}
+	return leaf.Size
+}

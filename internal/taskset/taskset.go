@@ -1,0 +1,346 @@
+// Package taskset implements compact sets of MPI ranks ("tasks") as sorted
+// lists of strided runs. ScalaTrace stores the participant list of a merged
+// RSD this way so that trace size stays near-constant in the number of ranks,
+// and coNCePTuaL addresses task groups with expressions such as
+// "TASKS t SUCH THAT t MOD 3 = 0"; this package serves both needs.
+package taskset
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Run is an arithmetic progression of ranks: Start, Start+Stride, ...
+// with Count elements. Stride is >= 1; a singleton has Count 1 (its stride
+// is normalized to 1).
+type Run struct {
+	Start  int
+	Stride int
+	Count  int
+}
+
+// Last returns the largest rank in the run.
+func (r Run) Last() int { return r.Start + (r.Count-1)*r.Stride }
+
+// Contains reports whether rank is a member of the run.
+func (r Run) Contains(rank int) bool {
+	if rank < r.Start || rank > r.Last() {
+		return false
+	}
+	return (rank-r.Start)%r.Stride == 0
+}
+
+func (r Run) String() string {
+	switch {
+	case r.Count == 1:
+		return strconv.Itoa(r.Start)
+	case r.Stride == 1:
+		return fmt.Sprintf("%d:%d", r.Start, r.Last())
+	default:
+		return fmt.Sprintf("%d:%d:%d", r.Start, r.Last(), r.Stride)
+	}
+}
+
+// Set is an immutable set of ranks held as disjoint, sorted runs.
+// The zero value is the empty set, ready for use.
+type Set struct {
+	runs []Run
+}
+
+// Empty is the set with no members.
+var Empty = Set{}
+
+// Of builds a Set from arbitrary ranks (duplicates are removed).
+func Of(ranks ...int) Set {
+	if len(ranks) == 0 {
+		return Set{}
+	}
+	sorted := append([]int(nil), ranks...)
+	sort.Ints(sorted)
+	uniq := sorted[:1]
+	for _, r := range sorted[1:] {
+		if r != uniq[len(uniq)-1] {
+			uniq = append(uniq, r)
+		}
+	}
+	return fromSortedUnique(uniq)
+}
+
+// Range returns the set {lo, lo+1, ..., hi}. It returns the empty set when
+// hi < lo.
+func Range(lo, hi int) Set {
+	if hi < lo {
+		return Set{}
+	}
+	return Set{runs: []Run{{Start: lo, Stride: 1, Count: hi - lo + 1}}}
+}
+
+// Strided returns the set {start, start+stride, ...} with count members.
+// Stride must be >= 1 and count >= 0.
+func Strided(start, stride, count int) Set {
+	if count <= 0 {
+		return Set{}
+	}
+	if stride < 1 {
+		panic("taskset: stride must be >= 1")
+	}
+	if count == 1 {
+		stride = 1
+	}
+	return Set{runs: []Run{{Start: start, Stride: stride, Count: count}}}
+}
+
+// fromSortedUnique greedily packs a sorted, duplicate-free rank slice into
+// maximal strided runs.
+func fromSortedUnique(ranks []int) Set {
+	var runs []Run
+	i := 0
+	for i < len(ranks) {
+		if i+1 == len(ranks) {
+			runs = append(runs, Run{Start: ranks[i], Stride: 1, Count: 1})
+			break
+		}
+		stride := ranks[i+1] - ranks[i]
+		j := i + 1
+		for j+1 < len(ranks) && ranks[j+1]-ranks[j] == stride {
+			j++
+		}
+		count := j - i + 1
+		if count == 2 {
+			// A two-element "run" may pack better as a singleton plus the
+			// start of the next progression; emit the first element alone
+			// unless no further elements exist.
+			if j+1 < len(ranks) {
+				runs = append(runs, Run{Start: ranks[i], Stride: 1, Count: 1})
+				i++
+				continue
+			}
+		}
+		runs = append(runs, Run{Start: ranks[i], Stride: stride, Count: count})
+		i = j + 1
+	}
+	// Normalize stride of singletons.
+	for k := range runs {
+		if runs[k].Count == 1 {
+			runs[k].Stride = 1
+		}
+	}
+	return Set{runs: runs}
+}
+
+// Size returns the number of members.
+func (s Set) Size() int {
+	n := 0
+	for _, r := range s.runs {
+		n += r.Count
+	}
+	return n
+}
+
+// IsEmpty reports whether the set has no members.
+func (s Set) IsEmpty() bool { return len(s.runs) == 0 }
+
+// Runs returns a copy of the underlying runs.
+func (s Set) Runs() []Run { return append([]Run(nil), s.runs...) }
+
+// Contains reports membership of rank.
+func (s Set) Contains(rank int) bool {
+	for _, r := range s.runs {
+		if r.Contains(rank) {
+			return true
+		}
+	}
+	return false
+}
+
+// Members expands the set into a sorted slice of ranks.
+func (s Set) Members() []int {
+	out := make([]int, 0, s.Size())
+	for _, r := range s.runs {
+		for i := 0; i < r.Count; i++ {
+			out = append(out, r.Start+i*r.Stride)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Min returns the smallest member; it panics on the empty set.
+func (s Set) Min() int {
+	if s.IsEmpty() {
+		panic("taskset: Min of empty set")
+	}
+	min := s.runs[0].Start
+	for _, r := range s.runs[1:] {
+		if r.Start < min {
+			min = r.Start
+		}
+	}
+	return min
+}
+
+// Max returns the largest member; it panics on the empty set.
+func (s Set) Max() int {
+	if s.IsEmpty() {
+		panic("taskset: Max of empty set")
+	}
+	max := s.runs[0].Last()
+	for _, r := range s.runs[1:] {
+		if l := r.Last(); l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// Union returns s ∪ other.
+func (s Set) Union(other Set) Set {
+	return Of(append(s.Members(), other.Members()...)...)
+}
+
+// Intersect returns s ∩ other.
+func (s Set) Intersect(other Set) Set {
+	var keep []int
+	for _, m := range s.Members() {
+		if other.Contains(m) {
+			keep = append(keep, m)
+		}
+	}
+	return Of(keep...)
+}
+
+// Minus returns s \ other.
+func (s Set) Minus(other Set) Set {
+	var keep []int
+	for _, m := range s.Members() {
+		if !other.Contains(m) {
+			keep = append(keep, m)
+		}
+	}
+	return Of(keep...)
+}
+
+// Add returns s ∪ {rank}.
+func (s Set) Add(rank int) Set {
+	if s.Contains(rank) {
+		return s
+	}
+	return Of(append(s.Members(), rank)...)
+}
+
+// Equal reports whether two sets have identical membership.
+func (s Set) Equal(other Set) bool {
+	a, b := s.Members(), other.Members()
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the canonical compact form, e.g. "0:6:2,9,12:14".
+func (s Set) String() string {
+	if s.IsEmpty() {
+		return "{}"
+	}
+	parts := make([]string, len(s.runs))
+	for i, r := range s.runs {
+		parts[i] = r.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// Parse decodes the String form ("{}" or comma-separated runs).
+func Parse(text string) (Set, error) {
+	text = strings.TrimSpace(text)
+	if text == "" || text == "{}" {
+		return Set{}, nil
+	}
+	var ranks []int
+	for _, part := range strings.Split(text, ",") {
+		nums := strings.Split(part, ":")
+		switch len(nums) {
+		case 1:
+			v, err := strconv.Atoi(nums[0])
+			if err != nil {
+				return Set{}, fmt.Errorf("taskset: bad rank %q: %w", part, err)
+			}
+			ranks = append(ranks, v)
+		case 2, 3:
+			lo, err := strconv.Atoi(nums[0])
+			if err != nil {
+				return Set{}, fmt.Errorf("taskset: bad range %q: %w", part, err)
+			}
+			hi, err := strconv.Atoi(nums[1])
+			if err != nil {
+				return Set{}, fmt.Errorf("taskset: bad range %q: %w", part, err)
+			}
+			stride := 1
+			if len(nums) == 3 {
+				stride, err = strconv.Atoi(nums[2])
+				if err != nil || stride < 1 {
+					return Set{}, fmt.Errorf("taskset: bad stride in %q", part)
+				}
+			}
+			if hi < lo {
+				return Set{}, fmt.Errorf("taskset: descending range %q", part)
+			}
+			for v := lo; v <= hi; v += stride {
+				ranks = append(ranks, v)
+			}
+		default:
+			return Set{}, fmt.Errorf("taskset: malformed run %q", part)
+		}
+	}
+	return Of(ranks...), nil
+}
+
+// Predicate describes a set as a coNCePTuaL task predicate over a task
+// variable, e.g. "t MOD 3 = 0" or "t >= 4 /\ t <= 11". Kind tells the code
+// generator which grammar production to use.
+type Predicate struct {
+	Kind PredicateKind
+	// Singleton value (KindSingleton), or lo/hi bounds (KindRange), or
+	// stride/offset (KindStride), or nothing (KindAll / KindEnum).
+	Value, Lo, Hi, Stride, Offset int
+}
+
+// PredicateKind enumerates the shapes Describe can produce.
+type PredicateKind int
+
+// Predicate kinds, from most to least specific.
+const (
+	KindAll       PredicateKind = iota // every task in 0..n-1
+	KindSingleton                      // exactly one task
+	KindRange                          // contiguous range lo..hi
+	KindStride                         // t mod Stride == Offset within 0..n-1
+	KindEnum                           // irregular: enumerate members
+)
+
+// Describe classifies the set relative to a world of n tasks so that the
+// code generator can choose the most readable coNCePTuaL construct.
+func (s Set) Describe(n int) Predicate {
+	if s.Size() == n && !s.IsEmpty() && s.Min() == 0 && s.Max() == n-1 && len(s.runs) == 1 && s.runs[0].Stride == 1 {
+		return Predicate{Kind: KindAll}
+	}
+	if s.Size() == 1 {
+		return Predicate{Kind: KindSingleton, Value: s.Min()}
+	}
+	if len(s.runs) == 1 {
+		r := s.runs[0]
+		if r.Stride == 1 {
+			return Predicate{Kind: KindRange, Lo: r.Start, Hi: r.Last()}
+		}
+		// A strided run covering the whole world modulo class.
+		if r.Start < r.Stride && r.Last()+r.Stride > n-1 {
+			return Predicate{Kind: KindStride, Stride: r.Stride, Offset: r.Start}
+		}
+	}
+	return Predicate{Kind: KindEnum}
+}

@@ -1,0 +1,269 @@
+package taskset
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestOfDeduplicatesAndSorts(t *testing.T) {
+	s := Of(3, 1, 2, 3, 1)
+	if got := s.Members(); len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("members = %v", got)
+	}
+	if s.Size() != 3 {
+		t.Fatalf("size = %d", s.Size())
+	}
+}
+
+func TestEmptySet(t *testing.T) {
+	var s Set
+	if !s.IsEmpty() || s.Size() != 0 || s.Contains(0) {
+		t.Fatal("zero Set is not empty")
+	}
+	if s.String() != "{}" {
+		t.Fatalf("empty string = %q", s.String())
+	}
+	if !Empty.Equal(Of()) {
+		t.Fatal("Empty != Of()")
+	}
+}
+
+func TestRange(t *testing.T) {
+	s := Range(2, 5)
+	want := []int{2, 3, 4, 5}
+	got := s.Members()
+	if len(got) != len(want) {
+		t.Fatalf("members = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("members = %v, want %v", got, want)
+		}
+	}
+	if !Range(5, 2).IsEmpty() {
+		t.Fatal("descending Range should be empty")
+	}
+	if s.String() != "2:5" {
+		t.Fatalf("String = %q", s.String())
+	}
+}
+
+func TestStrided(t *testing.T) {
+	s := Strided(1, 3, 4) // 1,4,7,10
+	if got := s.String(); got != "1:10:3" {
+		t.Fatalf("String = %q", got)
+	}
+	for _, m := range []int{1, 4, 7, 10} {
+		if !s.Contains(m) {
+			t.Errorf("missing %d", m)
+		}
+	}
+	for _, m := range []int{0, 2, 3, 5, 11, 13} {
+		if s.Contains(m) {
+			t.Errorf("spurious %d", m)
+		}
+	}
+	if !Strided(5, 2, 0).IsEmpty() {
+		t.Fatal("zero-count Strided should be empty")
+	}
+	if Strided(5, 9, 1).String() != "5" {
+		t.Fatal("singleton stride not normalized")
+	}
+}
+
+func TestStridedPanicsOnBadStride(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Strided(0, 0, 3)
+}
+
+func TestCompaction(t *testing.T) {
+	// Even ranks pack into a single strided run.
+	s := Of(0, 2, 4, 6, 8)
+	if len(s.Runs()) != 1 {
+		t.Fatalf("runs = %v", s.Runs())
+	}
+	if s.String() != "0:8:2" {
+		t.Fatalf("String = %q", s.String())
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	s := Of(7, 2, 9)
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min/max = %d/%d", s.Min(), s.Max())
+	}
+}
+
+func TestMinPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Empty.Min()
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := Of(1, 2, 3, 4)
+	b := Of(3, 4, 5, 6)
+	if got := a.Union(b); !got.Equal(Of(1, 2, 3, 4, 5, 6)) {
+		t.Fatalf("union = %v", got)
+	}
+	if got := a.Intersect(b); !got.Equal(Of(3, 4)) {
+		t.Fatalf("intersect = %v", got)
+	}
+	if got := a.Minus(b); !got.Equal(Of(1, 2)) {
+		t.Fatalf("minus = %v", got)
+	}
+	if got := a.Add(10); !got.Equal(Of(1, 2, 3, 4, 10)) {
+		t.Fatalf("add = %v", got)
+	}
+	if got := a.Add(2); !got.Equal(a) {
+		t.Fatalf("add existing = %v", got)
+	}
+}
+
+func TestStringParseRoundTrip(t *testing.T) {
+	cases := []Set{
+		Empty,
+		Of(5),
+		Range(0, 15),
+		Strided(0, 2, 8),
+		Of(0, 1, 2, 5, 9, 11, 13, 15),
+	}
+	for _, s := range cases {
+		got, err := Parse(s.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s.String(), err)
+		}
+		if !got.Equal(s) {
+			t.Fatalf("round trip %q -> %v", s.String(), got)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{"a", "1:b", "1:5:0", "5:1", "1:2:3:4", "x:y"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestParseEmptyForms(t *testing.T) {
+	for _, txt := range []string{"", "{}", "  "} {
+		s, err := Parse(txt)
+		if err != nil || !s.IsEmpty() {
+			t.Errorf("Parse(%q) = %v, %v", txt, s, err)
+		}
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	n := 16
+	cases := []struct {
+		s    Set
+		kind PredicateKind
+	}{
+		{Range(0, 15), KindAll},
+		{Of(3), KindSingleton},
+		{Range(4, 11), KindRange},
+		{Strided(0, 4, 4), KindStride},
+		{Strided(1, 4, 4), KindStride},
+		{Of(0, 1, 5, 9), KindEnum},
+		{Range(0, 14), KindRange}, // not all: missing 15
+	}
+	for _, c := range cases {
+		if got := c.s.Describe(n); got.Kind != c.kind {
+			t.Errorf("Describe(%v) kind = %v, want %v", c.s, got.Kind, c.kind)
+		}
+	}
+	p := Of(3).Describe(n)
+	if p.Value != 3 {
+		t.Errorf("singleton value = %d", p.Value)
+	}
+	p = Strided(1, 4, 4).Describe(n)
+	if p.Stride != 4 || p.Offset != 1 {
+		t.Errorf("stride predicate = %+v", p)
+	}
+}
+
+func TestPropertyRoundTripRandom(t *testing.T) {
+	// Property: Of -> String -> Parse recovers exactly the same membership.
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%64) + 1
+		ranks := make([]int, n)
+		for i := range ranks {
+			ranks[i] = rng.Intn(256)
+		}
+		s := Of(ranks...)
+		back, err := Parse(s.String())
+		return err == nil && back.Equal(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyMembersSortedUnique(t *testing.T) {
+	f := func(ranks []uint8) bool {
+		ints := make([]int, len(ranks))
+		for i, r := range ranks {
+			ints[i] = int(r)
+		}
+		m := Of(ints...).Members()
+		if !sort.IntsAreSorted(m) {
+			return false
+		}
+		for i := 1; i < len(m); i++ {
+			if m[i] == m[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyAlgebraLaws(t *testing.T) {
+	// Union is commutative; intersect distributes w.r.t. membership.
+	f := func(xs, ys []uint8) bool {
+		xi := make([]int, len(xs))
+		for i, v := range xs {
+			xi[i] = int(v % 32)
+		}
+		yi := make([]int, len(ys))
+		for i, v := range ys {
+			yi[i] = int(v % 32)
+		}
+		a, b := Of(xi...), Of(yi...)
+		if !a.Union(b).Equal(b.Union(a)) {
+			return false
+		}
+		inter := a.Intersect(b)
+		for _, m := range inter.Members() {
+			if !a.Contains(m) || !b.Contains(m) {
+				return false
+			}
+		}
+		diff := a.Minus(b)
+		for _, m := range diff.Members() {
+			if b.Contains(m) {
+				return false
+			}
+		}
+		return diff.Size()+inter.Size() == a.Size()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

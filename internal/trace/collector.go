@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/mpi"
+	"repro/internal/taskset"
+)
+
+// Collector gathers the per-rank event streams of one run (via the runtime's
+// PMPI hook) and produces the merged, compressed Trace when the run ends —
+// the equivalent of ScalaTrace's interposition library plus the inter-node
+// merge performed in MPI_Finalize.
+type Collector struct {
+	n  int
+	mu sync.Mutex
+	// comms maps communicator IDs to their world-rank groups; shared
+	// registry across ranks.
+	comms map[int][]int
+	// builders[rank] accumulates rank's compressed stream.
+	builders []*Builder
+	window   int
+}
+
+// NewCollector returns a Collector for an n-rank run.
+func NewCollector(n int) *Collector {
+	c := &Collector{n: n, comms: make(map[int][]int), builders: make([]*Builder, n), window: DefaultMaxWindow}
+	world := make([]int, n)
+	for i := range world {
+		world[i] = i
+	}
+	c.comms[0] = world
+	for i := range c.builders {
+		c.builders[i] = NewBuilderWindow(c.window)
+	}
+	return c
+}
+
+// SetWindow overrides the intra-rank compression window (ablation knob).
+// Call before the run starts.
+func (c *Collector) SetWindow(w int) {
+	c.window = w
+	for i := range c.builders {
+		c.builders[i] = NewBuilderWindow(w)
+	}
+}
+
+// TracerFor returns the tracer hook for one rank; pass to mpi.WithTracer.
+func (c *Collector) TracerFor(rank int) mpi.Tracer {
+	return &rankTracer{c: c, rank: rank, builder: c.builders[rank]}
+}
+
+type rankTracer struct {
+	c       *Collector
+	rank    int
+	builder *Builder
+}
+
+// Record converts one runtime event into an RSD leaf and appends it to the
+// rank's compressed stream.
+func (t *rankTracer) Record(ev *mpi.Event) {
+	r := &RSD{
+		Op:       ev.Op,
+		Site:     ev.CallSite,
+		Ranks:    taskset.Of(t.rank),
+		CommID:   ev.CommID,
+		CommSize: ev.CommSize,
+		Tag:      ev.Tag,
+		Size:     ev.Size,
+		Counts:   append([]int(nil), ev.Counts...),
+		Root:     ev.Root,
+		Wildcard: ev.SourceWasWildcard,
+	}
+	r.SetComputeSample(ev.ComputeUS)
+	switch {
+	case ev.SourceWasWildcard:
+		r.Peer = AnyParam
+	case ev.Op.IsPointToPoint():
+		r.Peer = AbsParam(ev.Peer)
+	default:
+		r.Peer = NoParam
+	}
+	if ev.NewCommID != 0 && len(ev.Group) > 0 {
+		r.Group = append([]int(nil), ev.Group...)
+		r.NewCommID = ev.NewCommID
+		t.c.mu.Lock()
+		t.c.comms[ev.NewCommID] = r.Group
+		t.c.mu.Unlock()
+	}
+	t.builder.Append(r)
+}
+
+// Trace merges the per-rank streams into the final trace. Call only after
+// the run has completed.
+func (c *Collector) Trace() *Trace {
+	c.mu.Lock()
+	comms := make(map[int][]int, len(c.comms))
+	for id, g := range c.comms {
+		comms[id] = append([]int(nil), g...)
+	}
+	c.mu.Unlock()
+
+	seqs := make([][]Node, c.n)
+	for rank := 0; rank < c.n; rank++ {
+		seqs[rank] = c.builders[rank].Seq()
+	}
+	return MergeRankSeqs(c.n, comms, seqs)
+}
+
+// MergeRankSeqs performs ScalaTrace's inter-node merge: per-rank compressed
+// sequences are unified into behaviour groups with generalized (possibly
+// rank-relative) parameters. It is used by the Collector at trace time and
+// by the wildcard-resolution pass to rebuild a merged trace.
+func MergeRankSeqs(n int, comms map[int][]int, seqs [][]Node) *Trace {
+	tr := &Trace{N: n, Comms: comms}
+	for rank := 0; rank < n; rank++ {
+		seq := seqs[rank]
+		merged := false
+		for gi := range tr.Groups {
+			if tr.Groups[gi].tryMerge(seq, rank, tr) {
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			tr.Groups = append(tr.Groups, Group{
+				Ranks: taskset.Of(rank),
+				Seq:   cloneSeq(seq),
+			})
+		}
+	}
+	sort.Slice(tr.Groups, func(i, j int) bool {
+		return tr.Groups[i].Ranks.Min() < tr.Groups[j].Ranks.Min()
+	})
+	return tr
+}
+
+func cloneSeq(seq []Node) []Node {
+	out := make([]Node, len(seq))
+	for i, n := range seq {
+		out[i] = n.clone()
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+package trace
+
+// Builder performs ScalaTrace's on-the-fly intra-rank loop compression: as
+// events are appended it repeatedly folds repeated node windows into Loop
+// nodes (power-RSDs) and extends existing loops, so memory stays
+// proportional to the compressed trace, not the event count.
+type Builder struct {
+	seq []Node
+	// maxWindow bounds the loop-body length considered for folding.
+	maxWindow int
+	// rankSensitive makes folding treat rank sets as part of node equality.
+	// Per-rank streams leave this off (every leaf has the same singleton
+	// rank); the global queue produced by collective alignment needs it on,
+	// because folding two structurally equal leaves of *different* ranks
+	// would change per-rank semantics.
+	rankSensitive bool
+}
+
+// DefaultMaxWindow is the default bound on detected loop-body lengths.
+const DefaultMaxWindow = 192
+
+// NewBuilder returns a Builder with the default window.
+func NewBuilder() *Builder { return &Builder{maxWindow: DefaultMaxWindow} }
+
+// NewBuilderWindow returns a Builder with a custom window bound (used by the
+// compression ablation benchmarks). A window below 1 disables folding.
+func NewBuilderWindow(w int) *Builder { return &Builder{maxWindow: w} }
+
+// NewGlobalBuilder returns a rank-sensitive Builder for compressing global
+// (multi-rank) RSD queues such as Algorithm 1's output.
+func NewGlobalBuilder(w int) *Builder {
+	return &Builder{maxWindow: w, rankSensitive: true}
+}
+
+// Append adds a node to the sequence and compresses the tail.
+func (b *Builder) Append(n Node) {
+	b.seq = append(b.seq, n)
+	for b.foldOnce() {
+	}
+}
+
+// Seq returns the compressed sequence built so far. The Builder retains
+// ownership; callers must not modify it while appending continues.
+func (b *Builder) Seq() []Node { return b.seq }
+
+// Len returns the current number of top-level nodes.
+func (b *Builder) Len() int { return len(b.seq) }
+
+// foldOnce attempts a single fold at the tail, returning true if the
+// sequence changed.
+func (b *Builder) foldOnce() bool {
+	L := len(b.seq)
+	if L < 2 {
+		return false
+	}
+	last := b.seq[L-1]
+	lastHash := last.Hash()
+
+	for w := 1; w <= b.maxWindow; w++ {
+		// Case A: the node just before the last w nodes is a Loop whose body
+		// matches them — extend the loop by one iteration.
+		if L-1-w >= 0 {
+			if lp, ok := b.seq[L-1-w].(*Loop); ok && len(lp.Body) == w {
+				if lp.Body[w-1].Hash() == lastHash && b.windowsEqual(lp.Body, b.seq[L-w:]) {
+					for i := range lp.Body {
+						absorb(lp.Body[i], b.seq[L-w+i])
+					}
+					lp.Iters++
+					lp.invalidate()
+					b.seq = b.seq[:L-w]
+					return true
+				}
+			}
+		}
+		// Case B: the last w nodes repeat the w nodes before them — fold the
+		// pair into a 2-iteration loop. The first copy's compute samples are
+		// demoted to the first-iteration pool (cold-start times stay
+		// separate from steady state, as in ScalaTrace's delta-time
+		// histograms).
+		if 2*w <= L && b.seq[L-1-w].Hash() == lastHash &&
+			b.windowsEqual(b.seq[L-2*w:L-w], b.seq[L-w:]) {
+			body := make([]Node, w)
+			copy(body, b.seq[L-2*w:L-w])
+			for i := range body {
+				demoteFirstIteration(body[i])
+				absorb(body[i], b.seq[L-w+i])
+			}
+			loop := &Loop{Iters: 2, Body: body}
+			b.seq = append(b.seq[:L-2*w], loop)
+			return true
+		}
+	}
+	return false
+}
+
+// demoteFirstIteration recursively moves a node's pooled compute samples
+// into the first-iteration pool.
+func demoteFirstIteration(n Node) {
+	switch x := n.(type) {
+	case *RSD:
+		x.demoteToFirst()
+	case *Loop:
+		for _, b := range x.Body {
+			demoteFirstIteration(b)
+		}
+	}
+}
+
+func (b *Builder) windowsEqual(a, c []Node) bool {
+	for i := range a {
+		if a[i].Hash() != c[i].Hash() || !b.nodeEqual(a[i], c[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func (b *Builder) nodeEqual(x, y Node) bool {
+	if b.rankSensitive {
+		return nodesEqualWithRanks(x, y)
+	}
+	return StructEqual(x, y)
+}
+
+// nodesEqualWithRanks is StructEqual plus rank-set equality at every leaf.
+func nodesEqualWithRanks(a, c Node) bool {
+	switch x := a.(type) {
+	case *RSD:
+		y, ok := c.(*RSD)
+		return ok && rsdStructEqual(x, y) && x.Ranks.Equal(y.Ranks)
+	case *Loop:
+		y, ok := c.(*Loop)
+		if !ok || x.Iters != y.Iters || len(x.Body) != len(y.Body) {
+			return false
+		}
+		for i := range x.Body {
+			if !nodesEqualWithRanks(x.Body[i], y.Body[i]) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}

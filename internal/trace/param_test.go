@@ -1,0 +1,243 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mpi"
+	"repro/internal/netmodel"
+	"repro/internal/taskset"
+)
+
+func TestXorParamResolve(t *testing.T) {
+	p := XorParam(5)
+	for rank := 0; rank < 16; rank++ {
+		if got := p.Resolve(rank, 16); got != rank^5 {
+			t.Fatalf("xor5 at %d = %d, want %d", rank, got, rank^5)
+		}
+	}
+}
+
+func TestParamStringsCoverAllKinds(t *testing.T) {
+	cases := map[string]Param{
+		"-":     NoParam,
+		"abs3":  AbsParam(3),
+		"rel+2": RelParam(2),
+		"rel-1": RelParam(-1),
+		"xor4":  XorParam(4),
+		"any":   AnyParam,
+		"vec":   VecParam,
+	}
+	for want, p := range cases {
+		if got := p.String(); got != want {
+			t.Errorf("%v String = %q, want %q", p.Kind, got, want)
+		}
+	}
+	if got := (Param{Kind: ParamKind(99)}).String(); got != "?" {
+		t.Errorf("unknown kind String = %q", got)
+	}
+}
+
+func collectParam(t *testing.T, n int, body func(*mpi.Rank)) *Trace {
+	t.Helper()
+	col := NewCollector(n)
+	if _, err := mpi.Run(n, netmodel.Ideal(), body, mpi.WithTracer(col.TracerFor)); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return col.Trace()
+}
+
+func TestMergeDetectsButterfly(t *testing.T) {
+	n := 16
+	tr := collectParam(t, n, func(r *mpi.Rank) {
+		partner := r.Rank() ^ 3
+		rq := r.Irecv(r.World(), partner, 0, 64)
+		sq := r.Isend(r.World(), partner, 0, 64)
+		r.Waitall(rq, sq)
+	})
+	if len(tr.Groups) != 1 {
+		t.Fatalf("butterfly split into %d groups:\n%s", len(tr.Groups), tr)
+	}
+	found := false
+	for _, nd := range tr.Groups[0].Seq {
+		if x, ok := nd.(*RSD); ok && x.Op == mpi.OpIsend {
+			found = true
+			if x.Peer != XorParam(3) {
+				t.Fatalf("butterfly peer = %v, want xor3", x.Peer)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no isend leaf")
+	}
+}
+
+func TestMergeSelfCorrectsAmbiguousChoice(t *testing.T) {
+	// Offset +2 for ranks 0 and 1 looks like both t+2 and t XOR 2; rank 2
+	// disambiguates toward XOR in one program and toward REL in another.
+	n := 8
+	xorProg := collectParam(t, n, func(r *mpi.Rank) {
+		partner := r.Rank() ^ 2
+		rq := r.Irecv(r.World(), partner, 0, 64)
+		sq := r.Isend(r.World(), partner, 0, 64)
+		r.Waitall(rq, sq)
+	})
+	if len(xorProg.Groups) != 1 {
+		t.Fatalf("xor program split into %d groups", len(xorProg.Groups))
+	}
+	relProg := collectParam(t, n, func(r *mpi.Rank) {
+		dst := (r.Rank() + 2) % n
+		src := (r.Rank() + n - 2) % n
+		rq := r.Irecv(r.World(), src, 0, 64)
+		sq := r.Isend(r.World(), dst, 0, 64)
+		r.Waitall(rq, sq)
+	})
+	if len(relProg.Groups) != 1 {
+		t.Fatalf("rel program split into %d groups", len(relProg.Groups))
+	}
+	peerOf := func(tr *Trace) Param {
+		for _, nd := range tr.Groups[0].Seq {
+			if x, ok := nd.(*RSD); ok && x.Op == mpi.OpIsend {
+				return x.Peer
+			}
+		}
+		return Param{}
+	}
+	if p := peerOf(xorProg); p != XorParam(2) {
+		t.Fatalf("xor program peer = %v, want xor2", p)
+	}
+	if p := peerOf(relProg); p != RelParam(2) {
+		t.Fatalf("rel program peer = %v, want rel+2", p)
+	}
+}
+
+func TestMergeFallsBackToVector(t *testing.T) {
+	// An irregular pairing (0<->5, 1<->3, 2<->4) fits no affine or xor
+	// pattern: 0^5=5 but 1^3=2, and the offsets differ per rank.
+	n := 6
+	pairs := map[int]int{0: 5, 5: 0, 1: 3, 3: 1, 2: 4, 4: 2}
+	partnerOf := func(rank int) int { return pairs[rank] }
+	tr := collectParam(t, n, func(r *mpi.Rank) {
+		p := partnerOf(r.Rank())
+		rq := r.Irecv(r.World(), p, 0, 64)
+		sq := r.Isend(r.World(), p, 0, 64)
+		r.Waitall(rq, sq)
+	})
+	var vecLeaf *RSD
+	for _, g := range tr.Groups {
+		for _, nd := range g.Seq {
+			if x, ok := nd.(*RSD); ok && x.Op == mpi.OpIsend && x.Peer.Kind == ParamVec {
+				vecLeaf = x
+			}
+		}
+	}
+	if vecLeaf == nil {
+		t.Fatalf("no vector-parameter leaf found:\n%s", tr)
+	}
+	for i, w := range vecLeaf.Ranks.Members() {
+		if got := vecLeaf.PeerVec[i]; got != partnerOf(w) {
+			t.Fatalf("vector peer of rank %d = %d, want %d", w, got, partnerOf(w))
+		}
+		if got := vecLeaf.PeerFor(w, tr); got != partnerOf(w) {
+			t.Fatalf("PeerFor(%d) = %d, want %d", w, got, partnerOf(w))
+		}
+	}
+}
+
+func TestPeerForNonMemberOfVector(t *testing.T) {
+	r := &RSD{Op: mpi.OpIsend, Ranks: taskset.Of(1, 3), Peer: VecParam,
+		PeerVec: []int{5, 7}, CommID: 0, CommSize: 8, Root: -1}
+	tr := &Trace{N: 8, Comms: map[int][]int{0: {0, 1, 2, 3, 4, 5, 6, 7}}}
+	if got := r.PeerFor(1, tr); got != 5 {
+		t.Fatalf("PeerFor(1) = %d", got)
+	}
+	if got := r.PeerFor(3, tr); got != 7 {
+		t.Fatalf("PeerFor(3) = %d", got)
+	}
+	if got := r.PeerFor(2, tr); got != mpi.NoPeer {
+		t.Fatalf("PeerFor(non-member) = %d, want NoPeer", got)
+	}
+}
+
+func TestEncodeDecodeXorAndVec(t *testing.T) {
+	tr := &Trace{
+		N:     4,
+		Comms: map[int][]int{0: {0, 1, 2, 3}},
+		Groups: []Group{{Ranks: taskset.Range(0, 3), Seq: []Node{
+			&RSD{Op: mpi.OpIsend, Ranks: taskset.Range(0, 3), CommID: 0, CommSize: 4,
+				Peer: XorParam(1), Size: 64, Root: -1},
+			&RSD{Op: mpi.OpIrecv, Ranks: taskset.Range(0, 3), CommID: 0, CommSize: 4,
+				Peer: VecParam, PeerVec: []int{3, 2, 1, 0}, Size: 64, Root: -1},
+		}}},
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaves := back.Groups[0].Seq
+	if p := leaves[0].(*RSD).Peer; p != XorParam(1) {
+		t.Fatalf("xor param round trip = %v", p)
+	}
+	vec := leaves[1].(*RSD)
+	if vec.Peer.Kind != ParamVec || len(vec.PeerVec) != 4 || vec.PeerVec[0] != 3 {
+		t.Fatalf("vec param round trip = %v %v", vec.Peer, vec.PeerVec)
+	}
+}
+
+func TestRefitAllProperty(t *testing.T) {
+	// Property: whenever a merged group ends with a Rel or Xor parameter,
+	// resolving it per member reproduces each member's original concrete
+	// peer (merging never corrupts peers).
+	f := func(seed uint16, xorMode bool) bool {
+		n := 8
+		k := int(seed%7) + 1
+		body := func(r *mpi.Rank) {
+			if xorMode {
+				partner := r.Rank() ^ k
+				if partner >= n {
+					return // degenerate stage
+				}
+				rq := r.Irecv(r.World(), partner, 0, 32)
+				sq := r.Isend(r.World(), partner, 0, 32)
+				r.Waitall(rq, sq)
+				return
+			}
+			dst := (r.Rank() + k) % n
+			src := (r.Rank() + n - k) % n
+			rq := r.Irecv(r.World(), src, 0, 32)
+			sq := r.Isend(r.World(), dst, 0, 32)
+			r.Waitall(rq, sq)
+		}
+		col := NewCollector(n)
+		if _, err := mpi.Run(n, netmodel.Ideal(), body, mpi.WithTracer(col.TracerFor)); err != nil {
+			return false
+		}
+		tr := col.Trace()
+		for _, g := range tr.Groups {
+			for _, nd := range g.Seq {
+				x, ok := nd.(*RSD)
+				if !ok || x.Op != mpi.OpIsend {
+					continue
+				}
+				for _, w := range x.Ranks.Members() {
+					want := (w + k) % n
+					if xorMode {
+						want = w ^ k
+					}
+					if x.PeerFor(w, tr) != want {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

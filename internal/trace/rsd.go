@@ -1,0 +1,491 @@
+// Package trace is the reproduction's ScalaTrace: it observes a run through
+// the runtime's PMPI-style hook and builds a lossless, pattern-compressed
+// communication trace. Per-rank event streams are folded on the fly into
+// RSDs nested in power-RSDs (loops); at the end of the run the per-rank
+// traces are merged across ranks, generalizing peer ranks into
+// rank-relative offsets so that the trace stays near-constant in size
+// regardless of the number of ranks. Computation time between MPI calls is
+// compressed into per-call-site histograms.
+package trace
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/mpi"
+	"repro/internal/stats"
+	"repro/internal/taskset"
+)
+
+// ParamKind says how a peer rank is expressed in a merged RSD.
+type ParamKind int
+
+const (
+	// ParamNone marks operations without a peer (collectives, waits).
+	ParamNone ParamKind = iota
+	// ParamAbs is an absolute communicator-relative rank shared by all
+	// participants (e.g. "everyone sends to task 0").
+	ParamAbs
+	// ParamRel is an offset from the caller's communicator rank, modulo the
+	// communicator size (e.g. "task t sends to task t+1").
+	ParamRel
+	// ParamXor is a bitwise offset from the caller's communicator rank
+	// (peer = rank XOR value), the pattern of butterfly exchanges.
+	ParamXor
+	// ParamAny is the MPI_ANY_SOURCE wildcard.
+	ParamAny
+	// ParamVec marks an irregular per-rank peer pattern; the concrete
+	// values live in the RSD's PeerVec, ordered by world rank.
+	ParamVec
+)
+
+// Param is a generalizable integer parameter: the peer rank of a
+// point-to-point operation, expressed either absolutely or relative to the
+// calling rank.
+type Param struct {
+	Kind  ParamKind
+	Value int
+}
+
+// NoParam is the Param for operations without a peer.
+var NoParam = Param{Kind: ParamNone}
+
+// AbsParam returns an absolute peer parameter.
+func AbsParam(v int) Param { return Param{Kind: ParamAbs, Value: v} }
+
+// RelParam returns a rank-relative peer parameter (offset mod comm size).
+func RelParam(off int) Param { return Param{Kind: ParamRel, Value: off} }
+
+// XorParam returns a butterfly peer parameter (peer = rank XOR value).
+func XorParam(v int) Param { return Param{Kind: ParamXor, Value: v} }
+
+// VecParam marks the peer as per-rank irregular (see RSD.PeerVec).
+var VecParam = Param{Kind: ParamVec}
+
+// AnyParam is the wildcard-source parameter.
+var AnyParam = Param{Kind: ParamAny}
+
+// Resolve computes the concrete communicator-relative peer for a caller at
+// commRank in a communicator of commSize.
+func (p Param) Resolve(commRank, commSize int) int {
+	switch p.Kind {
+	case ParamAbs:
+		return p.Value
+	case ParamRel:
+		if commSize <= 0 {
+			return p.Value
+		}
+		v := (commRank + p.Value) % commSize
+		if v < 0 {
+			v += commSize
+		}
+		return v
+	case ParamXor:
+		return commRank ^ p.Value
+	case ParamAny:
+		return mpi.AnySource
+	default:
+		return mpi.NoPeer
+	}
+}
+
+func (p Param) String() string {
+	switch p.Kind {
+	case ParamNone:
+		return "-"
+	case ParamAbs:
+		return fmt.Sprintf("abs%d", p.Value)
+	case ParamRel:
+		if p.Value >= 0 {
+			return fmt.Sprintf("rel+%d", p.Value)
+		}
+		return fmt.Sprintf("rel%d", p.Value)
+	case ParamXor:
+		return fmt.Sprintf("xor%d", p.Value)
+	case ParamAny:
+		return "any"
+	case ParamVec:
+		return "vec"
+	default:
+		return "?"
+	}
+}
+
+// Node is one element of a compressed trace: either an *RSD (a leaf event
+// descriptor) or a *Loop (a power-RSD).
+type Node interface {
+	// Hash returns a structural hash ignoring rank sets and timing, used to
+	// accelerate loop detection and merging.
+	Hash() uint64
+	// EventCount returns the number of concrete events the node expands to
+	// for a single participating rank.
+	EventCount() int
+	// clone returns a deep copy.
+	clone() Node
+}
+
+// RSD is a regular section descriptor: one MPI operation at one call site,
+// performed by a set of ranks with (possibly generalized) parameters.
+type RSD struct {
+	Op   mpi.Op
+	Site uint64
+	// Ranks is the set of participating world ranks.
+	Ranks taskset.Set
+
+	CommID   int
+	CommSize int
+
+	// Peer is the communicator-relative peer (dest for sends, source for
+	// receives), possibly generalized relative to the caller's rank.
+	Peer Param
+	// PeerVec holds per-participant comm-relative peers when Peer.Kind is
+	// ParamVec, ordered by the participants' world ranks.
+	PeerVec  []int
+	Wildcard bool // receive was posted with MPI_ANY_SOURCE
+	Tag      int
+	Size     int
+	Counts   []int
+	Root     int // comm-relative root for rooted collectives, -1 otherwise
+
+	// Group and NewCommID describe a communicator created by
+	// CommSplit/CommDup.
+	Group     []int
+	NewCommID int
+
+	// Compute aggregates the computation time observed immediately before
+	// this operation, across iterations and ranks. It is nil while the RSD
+	// still holds only the single sample recorded at collection time; use
+	// ComputeStats / ComputeMean rather than reading the field directly.
+	Compute *stats.Histogram
+	// FirstCompute separately aggregates the observations from each loop's
+	// *first* iteration, which ScalaTrace keeps apart from the steady-state
+	// iterations because cold caches make it systematically longer (Ratn et
+	// al., ICS 2008; the paper's Section 3.1). It is nil for leaves that
+	// were never folded into a loop.
+	FirstCompute *stats.Histogram
+
+	sample    float64
+	hasSample bool
+
+	hash    uint64
+	hashSet bool
+}
+
+// SetComputeSample records the single compute-time observation of a freshly
+// collected event without allocating a histogram; folding materializes the
+// histogram lazily. This keeps uncompressed trace memory small.
+func (r *RSD) SetComputeSample(v float64) {
+	r.sample, r.hasSample = v, true
+}
+
+// ComputeStats returns the histogram of compute times before this operation,
+// materializing it from the pending sample if necessary. It returns an empty
+// histogram when nothing was recorded.
+func (r *RSD) ComputeStats() *stats.Histogram {
+	if r.Compute == nil {
+		r.Compute = stats.NewHistogram()
+		if r.hasSample {
+			r.Compute.Add(r.sample)
+			r.hasSample = false
+		}
+	} else if r.hasSample {
+		r.Compute.Add(r.sample)
+		r.hasSample = false
+	}
+	return r.Compute
+}
+
+// ComputeMean returns the mean compute time before this operation in
+// microseconds.
+func (r *RSD) ComputeMean() float64 {
+	if r.Compute == nil && r.hasSample {
+		return r.sample
+	}
+	if r.Compute == nil {
+		return 0
+	}
+	return r.ComputeStats().Mean()
+}
+
+// mergeComputeFrom pools src's compute-time observations into r
+// (steady-state and first-iteration pools separately).
+func (r *RSD) mergeComputeFrom(src *RSD) {
+	if src.Compute != nil || src.hasSample {
+		r.ComputeStats().Merge(src.ComputeStats())
+	}
+	if src.FirstCompute != nil && !src.FirstCompute.Empty() {
+		if r.FirstCompute == nil {
+			r.FirstCompute = stats.NewHistogram()
+		}
+		r.FirstCompute.Merge(src.FirstCompute)
+	}
+}
+
+// demoteToFirst moves the leaf's current compute observations into the
+// first-iteration pool; loop folding calls it on the body copy that came
+// from the loop's first iteration.
+func (r *RSD) demoteToFirst() {
+	h := r.ComputeStats()
+	if h.Empty() {
+		return
+	}
+	if r.FirstCompute == nil {
+		r.FirstCompute = stats.NewHistogram()
+	}
+	r.FirstCompute.Merge(h)
+	r.Compute = stats.NewHistogram()
+}
+
+// FirstComputeMean returns the mean first-iteration compute time, falling
+// back to the steady-state mean when no first-iteration pool exists.
+func (r *RSD) FirstComputeMean() float64 {
+	if r.FirstCompute == nil || r.FirstCompute.Empty() {
+		return r.ComputeMean()
+	}
+	return r.FirstCompute.Mean()
+}
+
+// ComputeMeanAt returns the compute time to replay for one event instance:
+// the first-iteration mean when firstIter holds, the steady-state mean
+// otherwise.
+func (r *RSD) ComputeMeanAt(firstIter bool) float64 {
+	if firstIter {
+		return r.FirstComputeMean()
+	}
+	return r.ComputeMean()
+}
+
+// PeerIndexer supplies communicator translation for PeerFor; *Trace
+// implements it.
+type PeerIndexer interface {
+	CommRankOf(commID, worldRank int) (int, bool)
+}
+
+// PeerFor returns the concrete communicator-relative peer of the given
+// participant world rank, handling every parameter kind including the
+// per-rank vector form. It returns mpi.AnySource for wildcards and
+// mpi.NoPeer for peerless operations.
+func (r *RSD) PeerFor(worldRank int, idx PeerIndexer) int {
+	if r.Peer.Kind == ParamVec {
+		members := r.Ranks.Members()
+		for i, w := range members {
+			if w == worldRank && i < len(r.PeerVec) {
+				return r.PeerVec[i]
+			}
+		}
+		return mpi.NoPeer
+	}
+	me, ok := idx.CommRankOf(r.CommID, worldRank)
+	if !ok {
+		me = worldRank
+	}
+	return r.Peer.Resolve(me, r.CommSize)
+}
+
+// Loop is a power-RSD: a counted repetition of a node sequence.
+type Loop struct {
+	Iters int
+	Body  []Node
+
+	hash    uint64
+	hashSet bool
+}
+
+// EventCount implements Node.
+func (r *RSD) EventCount() int { return 1 }
+
+// EventCount implements Node.
+func (l *Loop) EventCount() int {
+	n := 0
+	for _, b := range l.Body {
+		n += b.EventCount()
+	}
+	return n * l.Iters
+}
+
+// Hash implements Node.
+func (r *RSD) Hash() uint64 {
+	if r.hashSet {
+		return r.hash
+	}
+	h := fnv.New64a()
+	write := func(vs ...int) {
+		var buf [8]byte
+		for _, v := range vs {
+			for i := 0; i < 8; i++ {
+				buf[i] = byte(v >> (8 * i))
+			}
+			h.Write(buf[:])
+		}
+	}
+	write(int(r.Op), int(r.Site), r.CommID, r.CommSize,
+		int(r.Peer.Kind), r.Peer.Value, boolInt(r.Wildcard),
+		r.Tag, r.Size, r.Root, r.NewCommID, len(r.Counts), len(r.Group), len(r.PeerVec))
+	write(r.Counts...)
+	write(r.Group...)
+	write(r.PeerVec...)
+	r.hash, r.hashSet = h.Sum64(), true
+	return r.hash
+}
+
+// Hash implements Node.
+func (l *Loop) Hash() uint64 {
+	if l.hashSet {
+		return l.hash
+	}
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	put(0x10097) // loop marker
+	put(uint64(l.Iters))
+	for _, b := range l.Body {
+		put(b.Hash())
+	}
+	l.hash, l.hashSet = h.Sum64(), true
+	return l.hash
+}
+
+func (l *Loop) invalidate() { l.hashSet = false }
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// StructEqual reports whether two nodes are structurally identical — same
+// operations, call sites, parameters and loop shapes — ignoring rank sets
+// and compute-time histograms. This is the equality used for loop folding
+// within one rank's trace.
+func StructEqual(a, b Node) bool {
+	switch x := a.(type) {
+	case *RSD:
+		y, ok := b.(*RSD)
+		if !ok {
+			return false
+		}
+		return rsdStructEqual(x, y)
+	case *Loop:
+		y, ok := b.(*Loop)
+		if !ok {
+			return false
+		}
+		if x.Iters != y.Iters || len(x.Body) != len(y.Body) {
+			return false
+		}
+		for i := range x.Body {
+			if !StructEqual(x.Body[i], y.Body[i]) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+func rsdStructEqual(x, y *RSD) bool {
+	if x.Op != y.Op || x.Site != y.Site || x.CommID != y.CommID ||
+		x.CommSize != y.CommSize || x.Peer != y.Peer ||
+		x.Wildcard != y.Wildcard || x.Tag != y.Tag || x.Size != y.Size ||
+		x.Root != y.Root || x.NewCommID != y.NewCommID {
+		return false
+	}
+	if len(x.Counts) != len(y.Counts) || len(x.Group) != len(y.Group) ||
+		len(x.PeerVec) != len(y.PeerVec) {
+		return false
+	}
+	for i := range x.Counts {
+		if x.Counts[i] != y.Counts[i] {
+			return false
+		}
+	}
+	for i := range x.Group {
+		if x.Group[i] != y.Group[i] {
+			return false
+		}
+	}
+	for i := range x.PeerVec {
+		if x.PeerVec[i] != y.PeerVec[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// clone implements Node.
+func (r *RSD) clone() Node {
+	c := *r
+	c.Counts = append([]int(nil), r.Counts...)
+	c.Group = append([]int(nil), r.Group...)
+	c.PeerVec = append([]int(nil), r.PeerVec...)
+	if r.Compute != nil {
+		c.Compute = r.Compute.Clone()
+	}
+	if r.FirstCompute != nil {
+		c.FirstCompute = r.FirstCompute.Clone()
+	}
+	return &c
+}
+
+// clone implements Node.
+func (l *Loop) clone() Node {
+	c := &Loop{Iters: l.Iters, Body: make([]Node, len(l.Body))}
+	for i, b := range l.Body {
+		c.Body[i] = b.clone()
+	}
+	return c
+}
+
+// absorb merges the timing histograms and rank sets of src into dst.
+// dst and src must be structurally equal.
+func absorb(dst, src Node) {
+	switch d := dst.(type) {
+	case *RSD:
+		s := src.(*RSD)
+		d.mergeComputeFrom(s)
+		d.Ranks = d.Ranks.Union(s.Ranks)
+	case *Loop:
+		s := src.(*Loop)
+		for i := range d.Body {
+			absorb(d.Body[i], s.Body[i])
+		}
+	}
+}
+
+// ContainsRank reports whether the node expands to at least one event for
+// the given world rank.
+func ContainsRank(n Node, rank int) bool {
+	switch x := n.(type) {
+	case *RSD:
+		return x.Ranks.Contains(rank)
+	case *Loop:
+		for _, b := range x.Body {
+			if ContainsRank(b, rank) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (r *RSD) String() string {
+	s := fmt.Sprintf("{%s %s peer=%s tag=%d size=%d comm=%d", r.Ranks, r.Op, r.Peer, r.Tag, r.Size, r.CommID)
+	if r.Root >= 0 {
+		s += fmt.Sprintf(" root=%d", r.Root)
+	}
+	if r.Wildcard {
+		s += " wildcard"
+	}
+	return s + "}"
+}
+
+func (l *Loop) String() string {
+	return fmt.Sprintf("loop{%d x %d nodes}", l.Iters, len(l.Body))
+}
