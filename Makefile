@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: test check bench race
+
+test:
+	$(GO) test ./...
+
+# check is the pre-commit gate: static analysis plus the race detector over
+# the concurrent subsystems (the parallel trace pipeline and the simulated
+# MPI transport).
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/trace/... ./internal/mpi/...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .

@@ -18,6 +18,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/mpi"
 	"repro/internal/netmodel"
+	"repro/internal/taskset"
 	"repro/internal/trace"
 	"repro/internal/wildcard"
 )
@@ -295,6 +296,76 @@ func BenchmarkTraceCollectionOverhead(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkBuilderAppend measures the intra-rank compression hot path: a
+// long stream with an 8-event repeating phase plus a periodic phase break,
+// so the hash-index fold exercises loop extension, pair folding and misses.
+func BenchmarkBuilderAppend(b *testing.B) {
+	leaves := make([]*trace.RSD, 10)
+	for i := range leaves {
+		r := &trace.RSD{Op: mpi.OpSend, Site: uint64(i), CommSize: 16,
+			Peer: trace.AbsParam(i % 16), Tag: i, Size: 64 * i, Root: -1}
+		leaves[i] = r
+	}
+	clone := func(r *trace.RSD) *trace.RSD {
+		c := *r
+		c.SetComputeSample(1.0)
+		return &c
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bld := trace.NewBuilderWindow(trace.DefaultMaxWindow)
+		for ev := 0; ev < 4096; ev++ {
+			if ev%512 == 511 {
+				bld.Append(clone(leaves[8+ev%2])) // phase break
+				continue
+			}
+			bld.Append(clone(leaves[ev%8]))
+		}
+	}
+}
+
+// BenchmarkMergeRankSeqs measures the inter-node merge on 64 ranks of ring
+// traffic (all ranks unify into one group with rank-relative peers, the
+// paper's common case). Merging consumes its input, so each iteration
+// rebuilds the per-rank sequences; the build cost is the same for every
+// implementation under test.
+func BenchmarkMergeRankSeqs(b *testing.B) {
+	const n = 64
+	build := func() [][]trace.Node {
+		seqs := make([][]trace.Node, n)
+		for r := 0; r < n; r++ {
+			bld := trace.NewBuilderWindow(trace.DefaultMaxWindow)
+			for it := 0; it < 20; it++ {
+				for _, leaf := range []*trace.RSD{
+					{Op: mpi.OpSend, Site: 1, CommSize: n, Peer: trace.AbsParam((r + 1) % n), Tag: 7, Size: 1024, Root: -1},
+					{Op: mpi.OpRecv, Site: 2, CommSize: n, Peer: trace.AbsParam((r + n - 1) % n), Tag: 7, Size: 1024, Root: -1},
+					{Op: mpi.OpAllreduce, Site: 3, CommSize: n, Peer: trace.NoParam, Size: 8, Root: -1},
+				} {
+					leaf.Ranks = taskset.Of(r)
+					leaf.SetComputeSample(1.0 + float64(r))
+					bld.Append(leaf)
+				}
+			}
+			seqs[r] = bld.Seq()
+		}
+		return seqs
+	}
+	comms := func() map[int][]int {
+		world := make([]int, n)
+		for i := range world {
+			world[i] = i
+		}
+		return map[int][]int{0: world}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr := trace.MergeRankSeqsOwned(n, comms(), build())
+		if len(tr.Groups) != 1 {
+			b.Fatalf("expected 1 group, got %d", len(tr.Groups))
+		}
+	}
 }
 
 // BenchmarkGeneratePipeline measures the full generation pipeline per app.

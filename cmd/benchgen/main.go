@@ -7,6 +7,7 @@
 // Usage:
 //
 //	benchgen [-i app.trace] [-o app.ncptl] [-lang conceptual|c]
+//	         [-window n] [-cpuprofile prof.out]
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime/pprof"
 
 	"repro/internal/conceptual"
 	"repro/internal/core"
@@ -23,13 +25,30 @@ import (
 
 func main() {
 	var (
-		in     = flag.String("i", "", "input trace file (default stdin)")
-		out    = flag.String("o", "", "output source file (default stdout)")
-		lang   = flag.String("lang", "conceptual", "target language: conceptual, c, or go")
-		scaleN = flag.Int("extrapolate", 0, "extrapolate the trace to this rank count before generating")
-		second = flag.String("with", "", "second trace at a different scale (disambiguates -extrapolate)")
+		in      = flag.String("i", "", "input trace file (default stdin)")
+		out     = flag.String("o", "", "output source file (default stdout)")
+		lang    = flag.String("lang", "conceptual", "target language: conceptual, c, or go")
+		scaleN  = flag.Int("extrapolate", 0, "extrapolate the trace to this rank count before generating")
+		second  = flag.String("with", "", "second trace at a different scale (disambiguates -extrapolate)")
+		window  = flag.Int("window", 0, "loop-compression window for the alignment/resolution recompression passes (0 = default)")
+		profile = flag.String("cpuprofile", "", "write a CPU profile of the generation pipeline to this file")
 	)
 	flag.Parse()
+
+	if *window > 0 {
+		trace.SetDefaultWindow(*window)
+	}
+	if *profile != "" {
+		f, err := os.Create(*profile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	var r io.Reader = os.Stdin
 	if *in != "" {

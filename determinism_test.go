@@ -1,0 +1,41 @@
+// TestPipelineDeterminism asserts the paper pipeline's core guarantee after
+// parallelization: the generated benchmark program is byte-identical
+// regardless of how many workers the trace pipeline uses. A 64-rank
+// application gives the classification tree several levels and the fold
+// plenty of positions to shard.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/conceptual"
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/netmodel"
+	"repro/internal/trace"
+)
+
+func TestPipelineDeterminism(t *testing.T) {
+	defer trace.SetParallelism(0)
+	var want string
+	for _, workers := range []int{1, 2, 8} {
+		trace.SetParallelism(workers)
+		run, err := harness.TraceApp("bt", apps.NewConfig(64, apps.ClassS), netmodel.Ideal())
+		if err != nil {
+			t.Fatalf("workers=%d: trace: %v", workers, err)
+		}
+		prog, err := core.Generate(run.Trace, nil)
+		if err != nil {
+			t.Fatalf("workers=%d: generate: %v", workers, err)
+		}
+		got := conceptual.Print(prog)
+		if workers == 1 {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Fatalf("generated program differs between 1 and %d workers", workers)
+		}
+	}
+}

@@ -80,7 +80,7 @@ func Align(t *trace.Trace) (*trace.Trace, error) {
 		cursors[r] = trace.NewCursor(g.Seq, r)
 	}
 
-	window := trace.DefaultMaxWindow
+	window := trace.DefaultWindow()
 	if w := 8*n + 32; w > window {
 		window = w
 	}
@@ -103,7 +103,9 @@ func Align(t *trace.Trace) (*trace.Trace, error) {
 			}
 		}
 		if !empty {
-			merged := trace.MergeRankSeqs(n, t.Comms, seqs)
+			// The segment builders are replaced below, so the merge may
+			// consume their sequences in place.
+			merged := trace.MergeRankSeqsOwned(n, t.Comms, seqs)
 			for _, g := range merged.Groups {
 				for _, node := range g.Seq {
 					out.Append(node)

@@ -26,6 +26,7 @@ type message struct {
 type postedRecv struct {
 	src, tag int // AnySource / AnyTag allowed
 	postTime float64
+	order    uint64   // mailbox-wide post order, for earliest-acceptor ties
 	msg      *message // non-nil once matched
 }
 
@@ -42,42 +43,185 @@ func (p *postedRecv) accepts(m *message) bool {
 	return true
 }
 
-// mailbox is the per-rank transport endpoint: an unexpected-message queue, a
-// posted-receive queue, and flow-control accounting, all guarded by one
-// mutex. Senders deposit without blocking; receivers match and complete.
+// msgQueue is a FIFO of unexpected messages from one source, ordered by
+// sequence number (deposits from one source arrive in injection order
+// because inject runs on the sender's goroutine). Consumed entries are
+// tombstoned in place and reclaimed by periodic compaction, so the common
+// head-of-queue match stays O(1).
+type msgQueue struct {
+	items []*message
+	head  int // items[:head] are consumed
+	dead  int // consumed entries at index >= head
+}
+
+func (q *msgQueue) push(m *message) { q.items = append(q.items, m) }
+
+// skipConsumed advances head past tombstones.
+func (q *msgQueue) skipConsumed() {
+	for q.head < len(q.items) && q.items[q.head].matched {
+		q.head++
+		if q.dead > 0 {
+			q.dead--
+		}
+	}
+}
+
+// firstMatch returns the index of the lowest-sequence live message that a
+// receive with the given tag accepts, or -1.
+func (q *msgQueue) firstMatch(tag int) int {
+	q.skipConsumed()
+	for i := q.head; i < len(q.items); i++ {
+		m := q.items[i]
+		if m.matched {
+			continue
+		}
+		if tag == AnyTag || tag == m.tag {
+			return i
+		}
+	}
+	return -1
+}
+
+// take consumes items[i] and returns it.
+func (q *msgQueue) take(i int) *message {
+	m := q.items[i]
+	m.matched = true
+	if i == q.head {
+		q.head++
+	} else {
+		q.dead++
+	}
+	q.maybeCompact()
+	return m
+}
+
+func (q *msgQueue) maybeCompact() {
+	garbage := q.head + q.dead
+	if garbage < 32 || 2*garbage < len(q.items) {
+		return
+	}
+	live := q.items[:0]
+	for _, m := range q.items[q.head:] {
+		if !m.matched {
+			live = append(live, m)
+		}
+	}
+	for i := len(live); i < len(q.items); i++ {
+		q.items[i] = nil
+	}
+	q.items = live
+	q.head, q.dead = 0, 0
+}
+
+// recvQueue is a FIFO of posted receives sharing a source selector,
+// tombstoned and compacted like msgQueue.
+type recvQueue struct {
+	items []*postedRecv
+	head  int
+	dead  int
+}
+
+func (q *recvQueue) push(p *postedRecv) { q.items = append(q.items, p) }
+
+// firstAcceptor returns the earliest-posted live receive that accepts m,
+// or nil.
+func (q *recvQueue) firstAcceptor(m *message) *postedRecv {
+	for q.head < len(q.items) && q.items[q.head].msg != nil {
+		q.head++
+		if q.dead > 0 {
+			q.dead--
+		}
+	}
+	for i := q.head; i < len(q.items); i++ {
+		p := q.items[i]
+		if p.msg != nil {
+			continue
+		}
+		if p.accepts(m) {
+			return p
+		}
+	}
+	return nil
+}
+
+func (q *recvQueue) maybeCompact() {
+	garbage := q.head + q.dead
+	if garbage < 32 || 2*garbage < len(q.items) {
+		return
+	}
+	live := q.items[:0]
+	for _, p := range q.items[q.head:] {
+		if p.msg == nil {
+			live = append(live, p)
+		}
+	}
+	for i := len(live); i < len(q.items); i++ {
+		q.items[i] = nil
+	}
+	q.items = live
+	q.head, q.dead = 0, 0
+}
+
+// mailbox is the per-rank transport endpoint: unexpected-message queues
+// indexed by source rank, posted-receive queues indexed by source selector,
+// and flow-control accounting, all guarded by one mutex. Senders deposit
+// without blocking; receivers match and complete. The indexes preserve the
+// scan semantics of a single FIFO: matching takes the lowest sequence
+// number per source, AnySource picks the candidate with the earliest
+// virtual arrival (source rank breaking ties), and a deposit attaches to
+// the earliest posted acceptor.
 type mailbox struct {
 	mu   sync.Mutex
 	cond *sync.Cond
 
-	unexpected []*message    // deposited, not yet matched (FIFO per src)
-	posted     []*postedRecv // posted, not yet matched (FIFO)
+	unexSrc map[int]*msgQueue // src -> deposited, not yet matched (seq order)
+
+	postedBySrc map[int]*recvQueue // concrete-source receives, post order
+	postedAny   *recvQueue         // AnySource receives, post order
+	postCount   uint64             // post-order stamp generator
 
 	inflight  map[int]int // src -> deposited-but-not-drained count
 	lastDrain float64     // receiver clock at the most recent drain
 }
 
 func newMailbox() *mailbox {
-	mb := &mailbox{inflight: make(map[int]int)}
+	mb := &mailbox{
+		unexSrc:     make(map[int]*msgQueue),
+		postedBySrc: make(map[int]*recvQueue),
+		postedAny:   &recvQueue{},
+		inflight:    make(map[int]int),
+	}
 	mb.cond = sync.NewCond(&mb.mu)
 	return mb
 }
 
 // deposit delivers a message. If a compatible posted receive exists the
-// message is attached to the earliest one; otherwise it joins the unexpected
-// queue. deposit never blocks (eager/buffered semantics).
+// message is attached to the earliest one; otherwise it joins the source's
+// unexpected queue. deposit never blocks (eager/buffered semantics).
 func (mb *mailbox) deposit(m *message) {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
 	mb.inflight[m.src]++
-	for _, p := range mb.posted {
-		if p.accepts(m) {
-			p.msg = m
-			m.matched = true
-			mb.cond.Broadcast()
-			return
-		}
+	// Earliest acceptor across the source's queue and the AnySource queue.
+	var best *postedRecv
+	if q := mb.postedBySrc[m.src]; q != nil {
+		best = q.firstAcceptor(m)
 	}
-	mb.unexpected = append(mb.unexpected, m)
+	if p := mb.postedAny.firstAcceptor(m); p != nil && (best == nil || p.order < best.order) {
+		best = p
+	}
+	if best != nil {
+		best.msg = m
+		m.matched = true
+		mb.cond.Broadcast()
+		return
+	}
+	q := mb.unexSrc[m.src]
+	if q == nil {
+		q = &msgQueue{}
+		mb.unexSrc[m.src] = q
+	}
+	q.push(m)
 	mb.cond.Broadcast()
 }
 
@@ -88,63 +232,86 @@ func (mb *mailbox) deposit(m *message) {
 func (mb *mailbox) post(src, tag int, now float64) *postedRecv {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
-	p := &postedRecv{src: src, tag: tag, postTime: now}
+	p := &postedRecv{src: src, tag: tag, postTime: now, order: mb.postCount}
+	mb.postCount++
 	if m := mb.takeUnexpected(p); m != nil {
 		p.msg = m
+	} else if src == AnySource {
+		mb.postedAny.push(p)
 	} else {
-		mb.posted = append(mb.posted, p)
+		q := mb.postedBySrc[src]
+		if q == nil {
+			q = &recvQueue{}
+			mb.postedBySrc[src] = q
+		}
+		q.push(p)
 	}
 	return p
 }
 
 // takeUnexpected removes and returns the best unexpected match for p, or nil.
 func (mb *mailbox) takeUnexpected(p *postedRecv) *message {
-	best := -1
-	for i, m := range mb.unexpected {
-		if p.src != AnySource && p.src != m.src {
+	if p.src != AnySource {
+		q := mb.unexSrc[p.src]
+		if q == nil {
+			return nil
+		}
+		i := q.firstMatch(p.tag)
+		if i < 0 {
+			return nil
+		}
+		return q.take(i)
+	}
+	// AnySource: the per-source candidate is each queue's lowest-sequence
+	// tag match; the earliest virtual arrival wins, source breaking ties.
+	var bestQ *msgQueue
+	bestIdx := -1
+	for _, q := range mb.unexSrc {
+		i := q.firstMatch(p.tag)
+		if i < 0 {
 			continue
 		}
-		if p.tag != AnyTag && p.tag != m.tag {
+		m := q.items[i]
+		if bestIdx == -1 {
+			bestQ, bestIdx = q, i
 			continue
 		}
-		if best == -1 {
-			best = i
-			continue
-		}
-		b := mb.unexpected[best]
-		if m.src == b.src {
-			if m.seq < b.seq {
-				best = i
-			}
-			continue
-		}
+		b := bestQ.items[bestIdx]
 		if m.arrival < b.arrival || (m.arrival == b.arrival && m.src < b.src) {
-			best = i
+			bestQ, bestIdx = q, i
 		}
 	}
-	if best == -1 {
+	if bestIdx == -1 {
 		return nil
 	}
-	m := mb.unexpected[best]
-	mb.unexpected = append(mb.unexpected[:best], mb.unexpected[best+1:]...)
-	m.matched = true
-	return m
+	return bestQ.take(bestIdx)
 }
 
-// awaitMatch blocks until p has been matched by a depositor.
+// awaitMatch blocks until p has been matched by a depositor. The matched
+// entry stays tombstoned in its posted queue (p.msg != nil makes every scan
+// skip it) until compaction reclaims it.
 func (mb *mailbox) awaitMatch(p *postedRecv) {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
 	for p.msg == nil {
 		mb.cond.Wait()
 	}
-	// Remove p from the posted queue.
-	for i, q := range mb.posted {
-		if q == p {
-			mb.posted = append(mb.posted[:i], mb.posted[i+1:]...)
-			break
-		}
+	if p.src == AnySource {
+		mb.postedAny.noteConsumed(p)
+	} else if q := mb.postedBySrc[p.src]; q != nil {
+		q.noteConsumed(p)
 	}
+}
+
+// noteConsumed accounts for p's tombstone and compacts when garbage
+// accumulates.
+func (q *recvQueue) noteConsumed(p *postedRecv) {
+	if q.head < len(q.items) && q.items[q.head] == p {
+		q.head++
+	} else {
+		q.dead++
+	}
+	q.maybeCompact()
 }
 
 // drain marks the receive of m complete at receiver virtual time now,

@@ -1,7 +1,6 @@
 package trace
 
 import (
-	"sort"
 	"sync"
 
 	"repro/internal/mpi"
@@ -21,11 +20,14 @@ type Collector struct {
 	// builders[rank] accumulates rank's compressed stream.
 	builders []*Builder
 	window   int
+	// trace memoizes the merged result: the merge takes ownership of the
+	// builders' sequences, so it must run at most once.
+	trace *Trace
 }
 
 // NewCollector returns a Collector for an n-rank run.
 func NewCollector(n int) *Collector {
-	c := &Collector{n: n, comms: make(map[int][]int), builders: make([]*Builder, n), window: DefaultMaxWindow}
+	c := &Collector{n: n, comms: make(map[int][]int), builders: make([]*Builder, n), window: DefaultWindow()}
 	world := make([]int, n)
 	for i := range world {
 		world[i] = i
@@ -41,6 +43,7 @@ func NewCollector(n int) *Collector {
 // Call before the run starts.
 func (c *Collector) SetWindow(w int) {
 	c.window = w
+	c.trace = nil
 	for i := range c.builders {
 		c.builders[i] = NewBuilderWindow(w)
 	}
@@ -92,9 +95,16 @@ func (t *rankTracer) Record(ev *mpi.Event) {
 }
 
 // Trace merges the per-rank streams into the final trace. Call only after
-// the run has completed.
+// the run has completed. The Collector owns its builders' sequences, so the
+// merge consumes them in place (no defensive deep clone); the result is
+// memoized and repeated calls return the same *Trace.
 func (c *Collector) Trace() *Trace {
 	c.mu.Lock()
+	if c.trace != nil {
+		t := c.trace
+		c.mu.Unlock()
+		return t
+	}
 	comms := make(map[int][]int, len(c.comms))
 	for id, g := range c.comms {
 		comms[id] = append([]int(nil), g...)
@@ -105,41 +115,9 @@ func (c *Collector) Trace() *Trace {
 	for rank := 0; rank < c.n; rank++ {
 		seqs[rank] = c.builders[rank].Seq()
 	}
-	return MergeRankSeqs(c.n, comms, seqs)
-}
-
-// MergeRankSeqs performs ScalaTrace's inter-node merge: per-rank compressed
-// sequences are unified into behaviour groups with generalized (possibly
-// rank-relative) parameters. It is used by the Collector at trace time and
-// by the wildcard-resolution pass to rebuild a merged trace.
-func MergeRankSeqs(n int, comms map[int][]int, seqs [][]Node) *Trace {
-	tr := &Trace{N: n, Comms: comms}
-	for rank := 0; rank < n; rank++ {
-		seq := seqs[rank]
-		merged := false
-		for gi := range tr.Groups {
-			if tr.Groups[gi].tryMerge(seq, rank, tr) {
-				merged = true
-				break
-			}
-		}
-		if !merged {
-			tr.Groups = append(tr.Groups, Group{
-				Ranks: taskset.Of(rank),
-				Seq:   cloneSeq(seq),
-			})
-		}
-	}
-	sort.Slice(tr.Groups, func(i, j int) bool {
-		return tr.Groups[i].Ranks.Min() < tr.Groups[j].Ranks.Min()
-	})
-	return tr
-}
-
-func cloneSeq(seq []Node) []Node {
-	out := make([]Node, len(seq))
-	for i, n := range seq {
-		out[i] = n.clone()
-	}
-	return out
+	t := MergeRankSeqsOwned(c.n, comms, seqs)
+	c.mu.Lock()
+	c.trace = t
+	c.mu.Unlock()
+	return t
 }

@@ -1,9 +1,20 @@
 package trace
 
+import "sync/atomic"
+
 // Builder performs ScalaTrace's on-the-fly intra-rank loop compression: as
 // events are appended it repeatedly folds repeated node windows into Loop
 // nodes (power-RSDs) and extends existing loops, so memory stays
 // proportional to the compressed trace, not the event count.
+//
+// Fold candidates are found through a memoized tail index instead of
+// probing every window length: the index maps node hashes (and loop
+// body-tail hashes) to the positions that currently hold them, so an Append
+// does O(candidates) hash lookups rather than O(maxWindow) probes, falling
+// back to the full structural comparison only on a hash hit. The fold
+// decisions — and therefore the compressed output — are identical to the
+// exhaustive probe loop: the index enumerates exactly the windows whose
+// hash precondition holds, in the same ascending-window order.
 type Builder struct {
 	seq []Node
 	// maxWindow bounds the loop-body length considered for folding.
@@ -14,13 +25,48 @@ type Builder struct {
 	// because folding two structurally equal leaves of *different* ranks
 	// would change per-rank semantics.
 	rankSensitive bool
+
+	// nodeAt maps a node hash to the positions currently holding a node
+	// with that hash (fold case B candidates). Entries go stale when folds
+	// truncate or rewrite the tail; lookups re-validate against the live
+	// sequence and maybePrune drops dead entries periodically.
+	nodeAt map[uint64][]int32
+	// tailAt maps a loop's body-tail hash to the loop's position (fold
+	// case A candidates). A loop's body-tail hash never changes when the
+	// loop is extended, so entries stay valid as long as the loop does.
+	tailAt     map[uint64][]int32
+	sincePrune int
+	// wscratch is reusable storage for candidate window lengths.
+	wscratch []int
 }
 
 // DefaultMaxWindow is the default bound on detected loop-body lengths.
 const DefaultMaxWindow = 192
 
+// windowOverride, when positive, replaces DefaultMaxWindow for newly
+// created builders and the alignment pass (the -window CLI knob).
+var windowOverride atomic.Int32
+
+// SetDefaultWindow overrides the compression window used by NewBuilder,
+// NewCollector and the alignment pass. w <= 0 restores DefaultMaxWindow.
+func SetDefaultWindow(w int) {
+	if w < 0 {
+		w = 0
+	}
+	windowOverride.Store(int32(w))
+}
+
+// DefaultWindow returns the effective default compression window: the
+// SetDefaultWindow override when set, DefaultMaxWindow otherwise.
+func DefaultWindow() int {
+	if w := windowOverride.Load(); w > 0 {
+		return int(w)
+	}
+	return DefaultMaxWindow
+}
+
 // NewBuilder returns a Builder with the default window.
-func NewBuilder() *Builder { return &Builder{maxWindow: DefaultMaxWindow} }
+func NewBuilder() *Builder { return &Builder{maxWindow: DefaultWindow()} }
 
 // NewBuilderWindow returns a Builder with a custom window bound (used by the
 // compression ablation benchmarks). A window below 1 disables folding.
@@ -35,41 +81,98 @@ func NewGlobalBuilder(w int) *Builder {
 // Append adds a node to the sequence and compresses the tail.
 func (b *Builder) Append(n Node) {
 	b.seq = append(b.seq, n)
+	b.index(len(b.seq)-1, n)
 	for b.foldOnce() {
 	}
+	b.maybePrune()
 }
 
 // Seq returns the compressed sequence built so far. The Builder retains
-// ownership; callers must not modify it while appending continues.
+// ownership while appending continues; callers must not modify the returned
+// slice or its nodes. Handing the sequence to MergeRankSeqsOwned transfers
+// ownership away from the Builder, after which Append must not be called
+// again.
 func (b *Builder) Seq() []Node { return b.seq }
 
 // Len returns the current number of top-level nodes.
 func (b *Builder) Len() int { return len(b.seq) }
 
+// index records that pos currently holds n. Every position/content change
+// re-indexes, so the maps always cover the live sequence; superseded
+// entries are filtered at lookup time and dropped by maybePrune.
+func (b *Builder) index(pos int, n Node) {
+	if b.maxWindow < 1 {
+		return
+	}
+	if b.nodeAt == nil {
+		b.nodeAt = make(map[uint64][]int32)
+		b.tailAt = make(map[uint64][]int32)
+	}
+	h := n.Hash() // eagerly caches leaf hashes
+	b.nodeAt[h] = append(b.nodeAt[h], int32(pos))
+	if lp, ok := n.(*Loop); ok && len(lp.Body) > 0 {
+		th := lp.Body[len(lp.Body)-1].Hash()
+		b.tailAt[th] = append(b.tailAt[th], int32(pos))
+	}
+	b.sincePrune++
+}
+
 // foldOnce attempts a single fold at the tail, returning true if the
-// sequence changed.
+// sequence changed. Candidate window lengths come from the tail index; for
+// each one the same checks as the exhaustive probe loop run, in the same
+// order (ascending window length, loop extension before pair folding).
 func (b *Builder) foldOnce() bool {
 	L := len(b.seq)
-	if L < 2 {
+	if L < 2 || b.maxWindow < 1 {
 		return false
 	}
 	last := b.seq[L-1]
 	lastHash := last.Hash()
 
-	for w := 1; w <= b.maxWindow; w++ {
+	ws := b.wscratch[:0]
+	addCandidate := func(p int32) {
+		w := L - 1 - int(p)
+		if w < 1 || w > b.maxWindow {
+			return
+		}
+		for _, have := range ws {
+			if have == w {
+				return
+			}
+		}
+		ws = append(ws, w)
+	}
+	for _, p := range b.nodeAt[lastHash] {
+		addCandidate(p)
+	}
+	for _, p := range b.tailAt[lastHash] {
+		addCandidate(p)
+	}
+	// Ascending window order, matching the probe loop's preference for the
+	// shortest repeat.
+	for i := 1; i < len(ws); i++ {
+		for j := i; j > 0 && ws[j] < ws[j-1]; j-- {
+			ws[j], ws[j-1] = ws[j-1], ws[j]
+		}
+	}
+	b.wscratch = ws
+
+	for _, w := range ws {
 		// Case A: the node just before the last w nodes is a Loop whose body
 		// matches them — extend the loop by one iteration.
-		if L-1-w >= 0 {
-			if lp, ok := b.seq[L-1-w].(*Loop); ok && len(lp.Body) == w {
-				if lp.Body[w-1].Hash() == lastHash && b.windowsEqual(lp.Body, b.seq[L-w:]) {
-					for i := range lp.Body {
-						absorb(lp.Body[i], b.seq[L-w+i])
-					}
-					lp.Iters++
-					lp.invalidate()
-					b.seq = b.seq[:L-w]
-					return true
+		if lp, ok := b.seq[L-1-w].(*Loop); ok && len(lp.Body) == w {
+			if lp.Body[w-1].Hash() == lastHash && b.windowsEqual(lp.Body, b.seq[L-w:]) {
+				for i := range lp.Body {
+					absorb(lp.Body[i], b.seq[L-w+i])
 				}
+				lp.Iters++
+				lp.invalidate()
+				b.seq = b.seq[:L-w]
+				// The loop's own hash changed with its iteration count;
+				// re-index it under the new hash (its body-tail entry is
+				// still valid).
+				b.indexNodeHash(L-1-w, lp)
+				return true
 			}
 		}
 		// Case B: the last w nodes repeat the w nodes before them — fold the
@@ -87,6 +190,66 @@ func (b *Builder) foldOnce() bool {
 			}
 			loop := &Loop{Iters: 2, Body: body}
 			b.seq = append(b.seq[:L-2*w], loop)
+			b.index(L-2*w, loop)
+			return true
+		}
+	}
+	return false
+}
+
+// indexNodeHash records n's current hash at pos without touching the
+// body-tail index (used after in-place loop extension).
+func (b *Builder) indexNodeHash(pos int, n Node) {
+	h := n.Hash()
+	b.nodeAt[h] = append(b.nodeAt[h], int32(pos))
+	b.sincePrune++
+}
+
+// maybePrune drops index entries that no longer describe the live sequence.
+// Entries are only ever superseded (their position truncated away or
+// rewritten by a fold, both of which re-index the new content), so pruning
+// is purely a size bound and never loses a live candidate.
+func (b *Builder) maybePrune() {
+	if b.maxWindow < 1 || b.sincePrune < 4*b.maxWindow+64 {
+		return
+	}
+	b.sincePrune = 0
+	L := len(b.seq)
+	for h, ps := range b.nodeAt {
+		live := ps[:0]
+		for _, p := range ps {
+			if int(p) < L && b.seq[p].Hash() == h && !contains32(live, p) {
+				live = append(live, p)
+			}
+		}
+		if len(live) == 0 {
+			delete(b.nodeAt, h)
+		} else {
+			b.nodeAt[h] = live
+		}
+	}
+	for h, ps := range b.tailAt {
+		live := ps[:0]
+		for _, p := range ps {
+			if int(p) >= L {
+				continue
+			}
+			lp, ok := b.seq[p].(*Loop)
+			if ok && len(lp.Body) > 0 && lp.Body[len(lp.Body)-1].Hash() == h && !contains32(live, p) {
+				live = append(live, p)
+			}
+		}
+		if len(live) == 0 {
+			delete(b.tailAt, h)
+		} else {
+			b.tailAt[h] = live
+		}
+	}
+}
+
+func contains32(ps []int32, p int32) bool {
+	for _, q := range ps {
+		if q == p {
 			return true
 		}
 	}

@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// parallelismOverride pins the worker count used by the trace pipeline
+// (per-rank finalize, signature classification and the inter-node merge).
+// Zero means "use GOMAXPROCS". It exists so tests can assert that the
+// pipeline output is independent of the worker count.
+var parallelismOverride atomic.Int32
+
+// SetParallelism overrides the number of workers the trace pipeline uses.
+// k <= 0 restores the default (GOMAXPROCS). The pipeline output is
+// byte-identical for every worker count; this knob only trades wall-clock
+// time for goroutines.
+func SetParallelism(k int) {
+	if k < 0 {
+		k = 0
+	}
+	parallelismOverride.Store(int32(k))
+}
+
+// Parallelism returns the effective worker count: the SetParallelism
+// override when set, GOMAXPROCS otherwise.
+func Parallelism() int {
+	if k := parallelismOverride.Load(); k > 0 {
+		return int(k)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// parallelFor runs fn(i) for every i in [0, n) on up to Parallelism()
+// workers. Iterations must be independent: the result must not depend on
+// execution order, so the output is identical for any worker count. Work is
+// handed out in contiguous chunks through an atomic cursor, which keeps
+// cache locality for slice-indexed loops without a fixed pre-partition.
+func parallelFor(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers := Parallelism()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	chunk := n / (workers * 4)
+	if chunk < 1 {
+		chunk = 1
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(cursor.Add(int64(chunk))) - chunk
+				if lo >= n {
+					return
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					fn(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -173,6 +173,14 @@ func rsdUnifiable(gx, rx *RSD, gRanks taskset.Set, rank int, tr *Trace) bool {
 // parameters as value lists for the same reason): the vector returned is
 // ordered by the world ranks of gRanks ∪ {rank}.
 func unifyPeer(gx, rx *RSD, gRanks taskset.Set, rank int, tr *Trace) (Param, []int, bool) {
+	return unifyPeerMembers(gx, rx, gRanks.Members(), rank, tr)
+}
+
+// unifyPeerMembers is the core of unifyPeer: gMembers holds the group's
+// world ranks in ascending order, and idx supplies (possibly cached)
+// communicator translation. The parallel merge calls it directly with
+// member-prefix slices so no rank sets are materialized in the hot path.
+func unifyPeerMembers(gx, rx *RSD, gMembers []int, rank int, idx PeerIndexer) (Param, []int, bool) {
 	switch {
 	case gx.Peer.Kind == ParamNone && rx.Peer.Kind == ParamNone:
 		return NoParam, nil, true
@@ -189,8 +197,8 @@ func unifyPeer(gx, rx *RSD, gRanks taskset.Set, rank int, tr *Trace) (Param, []i
 		return gx.Peer, nil, true
 	}
 
-	rxPeer := rx.PeerFor(rank, tr)
-	me, ok := tr.CommRankOf(rx.CommID, rank)
+	rxPeer := rx.PeerFor(rank, idx)
+	me, ok := idx.CommRankOf(rx.CommID, rank)
 	if !ok {
 		me = rank
 	}
@@ -203,63 +211,82 @@ func unifyPeer(gx, rx *RSD, gRanks taskset.Set, rank int, tr *Trace) (Param, []i
 		// Generalize — only possible while the group still has a single
 		// member (two members sharing one absolute peer can never share a
 		// relative offset).
-		if gRanks.Size() == 1 {
-			gRank := gRanks.Min()
-			offG, okG := relOffset(gx.Peer.Value, gRank, gx.CommID, gx.CommSize, tr)
-			offR, okR := relOffset(rxPeer, rank, rx.CommID, rx.CommSize, tr)
+		if len(gMembers) == 1 {
+			gRank := gMembers[0]
+			offG, okG := relOffset(gx.Peer.Value, gRank, gx.CommID, gx.CommSize, idx)
+			offR, okR := relOffset(rxPeer, rank, rx.CommID, rx.CommSize, idx)
 			if okG && okR && offG == offR {
 				return RelParam(offG), nil, true
 			}
 			// Butterfly generalization: peer = commRank ^ v.
-			if meG, okMG := tr.CommRankOf(gx.CommID, gRank); okMG && ok {
+			if meG, okMG := idx.CommRankOf(gx.CommID, gRank); okMG && ok {
 				if v := gx.Peer.Value ^ meG; v == rxPeer^me {
 					return XorParam(v), nil, true
 				}
 			}
 		}
 	case ParamRel:
-		if offR, okR := relOffset(rxPeer, rank, rx.CommID, rx.CommSize, tr); okR && offR == gx.Peer.Value {
+		if offR, okR := relOffset(rxPeer, rank, rx.CommID, rx.CommSize, idx); okR && offR == gx.Peer.Value {
 			return gx.Peer, nil, true
 		}
 		// The earlier members may have fit an ambiguous pattern (a two-rank
 		// group cannot distinguish t+k from t^k); re-test the butterfly
 		// interpretation against every member before giving up.
-		if p, ok2 := refitAll(gx, gRanks, rank, rxPeer, me, tr, ParamXor); ok2 {
+		if p, ok2 := refitAll(gx, gMembers, rank, rxPeer, me, idx, ParamXor); ok2 {
 			return p, nil, true
 		}
 	case ParamXor:
 		if ok && me^rxPeer == gx.Peer.Value {
 			return gx.Peer, nil, true
 		}
-		if p, ok2 := refitAll(gx, gRanks, rank, rxPeer, me, tr, ParamRel); ok2 {
+		if p, ok2 := refitAll(gx, gMembers, rank, rxPeer, me, idx, ParamRel); ok2 {
 			return p, nil, true
 		}
 	}
 
 	// Fall back to the explicit per-rank vector.
-	members := gRanks.Add(rank).Members()
+	members := insertRank(gMembers, rank)
 	vec := make([]int, len(members))
 	for i, w := range members {
 		if w == rank {
 			vec[i] = rxPeer
 		} else {
-			vec[i] = gx.PeerFor(w, tr)
+			vec[i] = gx.PeerFor(w, idx)
 		}
 	}
 	return VecParam, vec, true
 }
 
+// insertRank returns sorted members ∪ {rank} as a fresh slice.
+func insertRank(members []int, rank int) []int {
+	out := make([]int, 0, len(members)+1)
+	placed := false
+	for _, m := range members {
+		if !placed && rank <= m {
+			if rank < m {
+				out = append(out, rank)
+			}
+			placed = true
+		}
+		out = append(out, m)
+	}
+	if !placed {
+		out = append(out, rank)
+	}
+	return out
+}
+
 // refitAll tests whether every existing group member plus the new rank fits
 // a single parameter of the requested kind, returning it if so.
-func refitAll(gx *RSD, gRanks taskset.Set, rank, rxPeer, me int, tr *Trace, kind ParamKind) (Param, bool) {
+func refitAll(gx *RSD, gMembers []int, rank, rxPeer, me int, idx PeerIndexer, kind ParamKind) (Param, bool) {
 	type pair struct{ me, peer int }
-	pairs := make([]pair, 0, gRanks.Size()+1)
-	for _, w := range gRanks.Members() {
-		mw, ok := tr.CommRankOf(gx.CommID, w)
+	pairs := make([]pair, 0, len(gMembers)+1)
+	for _, w := range gMembers {
+		mw, ok := idx.CommRankOf(gx.CommID, w)
 		if !ok {
 			return Param{}, false
 		}
-		pairs = append(pairs, pair{me: mw, peer: gx.PeerFor(w, tr)})
+		pairs = append(pairs, pair{me: mw, peer: gx.PeerFor(w, idx)})
 	}
 	pairs = append(pairs, pair{me: me, peer: rxPeer})
 
@@ -296,8 +323,8 @@ func refitAll(gx *RSD, gRanks taskset.Set, rank, rxPeer, me int, tr *Trace, kind
 }
 
 // relOffset computes (peer - commRank(worldRank)) mod commSize.
-func relOffset(peer, worldRank, commID, commSize int, tr *Trace) (int, bool) {
-	me, ok := tr.CommRankOf(commID, worldRank)
+func relOffset(peer, worldRank, commID, commSize int, idx PeerIndexer) (int, bool) {
+	me, ok := idx.CommRankOf(commID, worldRank)
 	if !ok || commSize <= 0 {
 		return 0, false
 	}

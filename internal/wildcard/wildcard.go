@@ -170,7 +170,9 @@ func Resolve(t *trace.Trace) (*trace.Trace, error) {
 	for id, g := range t.Comms {
 		comms[id] = append([]int(nil), g...)
 	}
-	return trace.MergeRankSeqs(n, comms, seqs), nil
+	// The resolver's builders are discarded after this point, so the merge
+	// may consume their sequences in place.
+	return trace.MergeRankSeqsOwned(n, comms, seqs), nil
 }
 
 // run advances one rank until it blocks or finishes, returning whether any
