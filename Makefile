@@ -1,19 +1,32 @@
 GO ?= go
 
-.PHONY: test check bench race
+.PHONY: test check bench bench-all race
 
 test:
 	$(GO) test ./...
 
 # check is the pre-commit gate: static analysis plus the race detector over
-# the concurrent subsystems (the parallel trace pipeline and the simulated
-# MPI transport).
+# the concurrent subsystems — the parallel trace pipeline, the simulated MPI
+# transport (including the atomic combining barrier), the compiled
+# coNCePTuaL interpreter and the harness worker pool.
 check:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/trace/... ./internal/mpi/...
+	$(GO) test -race ./internal/trace/... ./internal/mpi/... ./internal/conceptual/... ./internal/harness/...
 
 race:
 	$(GO) test -race ./...
 
+# bench refreshes the BENCH_2.json baseline: it runs the runtime-substrate
+# benchmarks (simulated world execution, interpreter, replay) and merges the
+# measured numbers into the post_change section, preserving the recorded
+# pre-change history. Benchmark output also streams to the terminal.
 bench:
-	$(GO) test -bench=. -benchmem .
+	$(GO) test -run NONE -bench 'BenchmarkRunWorld|BenchmarkInterpExecute|BenchmarkReplay' \
+		-benchtime 60x -benchmem . | tee /dev/stderr | \
+		$(GO) run ./cmd/benchjson -merge BENCH_2.json > BENCH_2.json.tmp
+	mv BENCH_2.json.tmp BENCH_2.json
+
+# bench-all runs the full evaluation-reproduction suite without touching the
+# recorded baseline.
+bench-all:
+	$(GO) test -run NONE -bench=. -benchmem .

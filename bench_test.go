@@ -18,6 +18,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/mpi"
 	"repro/internal/netmodel"
+	"repro/internal/replay"
 	"repro/internal/taskset"
 	"repro/internal/trace"
 	"repro/internal/wildcard"
@@ -399,6 +400,96 @@ func BenchmarkInterpreter(b *testing.B) {
 	}}
 	for i := 0; i < b.N; i++ {
 		if _, err := conceptual.Execute(prog, 8, netmodel.BlueGeneL()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// runWorldBody is the BenchmarkRunWorld workload: a collective-heavy mix
+// (the fast-path target) interleaved with neighbor point-to-point traffic
+// through the mailbox, the same shape the NPB kernels drive at scale.
+func runWorldBody(n int) func(*mpi.Rank) {
+	return func(r *mpi.Rank) {
+		w := r.World()
+		for i := 0; i < 50; i++ {
+			r.Allreduce(w, 64)
+			r.Barrier(w)
+			peer := (r.Rank() + 1) % n
+			from := (r.Rank() + n - 1) % n
+			sreq := r.Isend(w, peer, 0, 1024)
+			rreq := r.Irecv(w, from, 0, 1024)
+			r.Waitall(rreq, sreq)
+			r.Bcast(w, 0, 512)
+			r.Reduce(w, 0, 128)
+		}
+	}
+}
+
+// BenchmarkRunWorld measures the simulated runtime itself — the substrate
+// every experiment stands on — at 64 and 256 ranks, on the default fast path
+// (atomic combining barrier, indexed mailbox, arenas) and on the reference
+// mutex+cond rendezvous. The fast/reference pairs at equal rank counts are
+// the recorded speedup evidence in BENCH_2.json.
+func BenchmarkRunWorld(b *testing.B) {
+	for _, n := range []int{64, 256} {
+		b.Run(fmt.Sprintf("fast-%dranks", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := mpi.Run(n, netmodel.BlueGeneL(), runWorldBody(n)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("reference-%dranks", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := mpi.Run(n, netmodel.BlueGeneL(), runWorldBody(n),
+					mpi.WithReferenceCollectives()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkInterpExecute measures coNCePTuaL program execution on the
+// compiled closure tree (the default) against the tree-walking reference, on
+// a program large enough that per-iteration statement dispatch dominates.
+func BenchmarkInterpExecute(b *testing.B) {
+	prog := &conceptual.Program{NumTasks: 16, Stmts: []conceptual.Stmt{
+		&conceptual.LoopStmt{Count: 200, Body: []conceptual.Stmt{
+			&conceptual.RecvStmt{Who: conceptual.AllTasks, Async: true, Size: 1024, Source: conceptual.RelRank(15)},
+			&conceptual.SendStmt{Who: conceptual.AllTasks, Async: true, Size: 1024, Dest: conceptual.RelRank(1)},
+			&conceptual.AwaitStmt{Who: conceptual.AllTasks},
+			&conceptual.ComputeStmt{Who: conceptual.AllTasks, USecs: 5},
+			&conceptual.ReduceStmt{Srcs: conceptual.AllTasks, Dsts: conceptual.AllTasks, Size: 64},
+		}},
+	}}
+	b.Run("compiled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := conceptual.Execute(prog, 16, netmodel.BlueGeneL()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("treewalk", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := conceptual.Execute(prog, 16, netmodel.BlueGeneL(),
+				conceptual.WithTreeWalk()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkReplay measures trace re-execution (the ScalaReplay role in the
+// Section 5.2 equivalence checks) on a 64-rank BT trace.
+func BenchmarkReplay(b *testing.B) {
+	run, err := harness.TraceApp("bt", apps.NewConfig(64, apps.ClassS), netmodel.BlueGeneL())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := replay.Replay(run.Trace, netmodel.BlueGeneL()); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,112 @@
+// Command benchjson turns `go test -bench` output into the BENCH_<n>.json
+// baseline format. It reads benchmark output on stdin, parses the ns/op,
+// B/op and allocs/op columns, and prints a JSON document on stdout. With
+// -merge FILE it starts from an existing baseline instead: the pre_change
+// section, speedup notes and metadata are preserved, the post_change
+// entries for every benchmark seen on stdin are replaced, and the date is
+// refreshed — so `make bench` keeps the recorded history while updating the
+// current numbers.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"time"
+)
+
+// benchLine matches one result row, e.g.
+//
+//	BenchmarkRunWorld/fast-256ranks   60   19406176 ns/op   4121416 B/op   4825 allocs/op
+//
+// The trailing -N GOMAXPROCS suffix go test appends on multiprocessor runs
+// is stripped so keys are stable across machines.
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(\d+(?:\.\d+)?) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+type entry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+func main() {
+	merge := flag.String("merge", "", "existing baseline JSON to update in place of a fresh document")
+	flag.Parse()
+
+	results := map[string]json.RawMessage{}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		var e entry
+		e.NsPerOp, _ = strconv.ParseFloat(m[2], 64)
+		if m[3] != "" {
+			e.BytesPerOp, _ = strconv.ParseInt(m[3], 10, 64)
+		}
+		if m[4] != "" {
+			e.AllocsPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		raw, err := json.Marshal(e)
+		if err != nil {
+			fatal(err)
+		}
+		results[m[1]] = raw
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if len(results) == 0 {
+		fatal(fmt.Errorf("no benchmark result lines on stdin"))
+	}
+
+	doc := map[string]json.RawMessage{}
+	if *merge != "" {
+		data, err := os.ReadFile(*merge)
+		if err != nil {
+			fatal(err)
+		}
+		if err := json.Unmarshal(data, &doc); err != nil {
+			fatal(fmt.Errorf("%s: %w", *merge, err))
+		}
+	}
+
+	post := map[string]json.RawMessage{}
+	if prev, ok := doc["post_change"]; ok {
+		if err := json.Unmarshal(prev, &post); err != nil {
+			fatal(fmt.Errorf("post_change: %w", err))
+		}
+	}
+	for name, raw := range results {
+		post[name] = raw
+	}
+	setJSON(doc, "post_change", post)
+	setJSON(doc, "date", time.Now().UTC().Format("2006-01-02"))
+	setJSON(doc, "go", runtime.Version()+" "+runtime.GOOS+"/"+runtime.GOARCH)
+
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(string(out))
+}
+
+func setJSON(doc map[string]json.RawMessage, key string, v any) {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		fatal(err)
+	}
+	doc[key] = raw
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

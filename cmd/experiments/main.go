@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	experiments -exp all [-class C] [-quick]
+//	experiments -exp all [-class C] [-quick] [-parallel N] [-timeout D]
 //	experiments -exp fig6
 //	experiments -exp fig7
 //	experiments -exp correctness
@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -37,8 +38,15 @@ func main() {
 		exp       = flag.String("exp", "all", "experiment: all, correctness, noise, equivalence, table1, fig6, fig7, scaling, extrap, overlap")
 		className = flag.String("class", "C", "NPB problem class for fig6/fig7")
 		quick     = flag.Bool("quick", false, "reduced configuration (small node counts, class W)")
+		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0),
+			"number of experiment configurations to run concurrently (results are identical for any value)")
+		timeout = flag.Duration("timeout", 0,
+			"wall-clock deadline per simulated run (0 uses the runtime default)")
 	)
 	flag.Parse()
+
+	harness.SetParallelism(*parallel)
+	harness.SetRunTimeout(*timeout)
 
 	class, err := apps.ParseClass(*className)
 	if err != nil {

@@ -1,0 +1,273 @@
+package conceptual
+
+import (
+	"repro/internal/mpi"
+	"repro/internal/taskset"
+)
+
+// This file lowers a coNCePTuaL program into a closure tree once per
+// (program, task count), so per-iteration execution does no AST walking and
+// no task-set or communicator-key computation. Everything a statement needs
+// at run time — membership masks, per-task peer ranks, the communicator a
+// collective uses and its root's communicator-relative rank — is resolved at
+// compile time; the closures only index precomputed arrays and call the
+// runtime. The tree-walking interpreter in interp.go is retained behind
+// WithTreeWalk as the differential-testing reference; both produce
+// bit-identical virtual clocks because they issue the same runtime calls
+// with the same arguments in the same order.
+
+// compiledStep executes one statement for the calling task.
+type compiledStep func(st *taskState)
+
+// compiledProgram is a program lowered for one task count.
+type compiledProgram struct {
+	steps []compiledStep
+}
+
+// commRef names the communicator a collective statement uses: world (-1) or
+// an index into the startup communicator plan.
+type commRef int
+
+const worldRef commRef = -1
+
+type compiler struct {
+	n       int
+	planIdx map[string]int // task-group key -> plan position
+}
+
+func compileProgram(p *Program, n int, plans []commPlan) *compiledProgram {
+	c := &compiler{n: n, planIdx: make(map[string]int, len(plans))}
+	for i, pl := range plans {
+		c.planIdx[pl.key] = i
+	}
+	return &compiledProgram{steps: c.compileStmts(p.Stmts)}
+}
+
+func (c *compiler) compileStmts(stmts []Stmt) []compiledStep {
+	out := make([]compiledStep, len(stmts))
+	for i, s := range stmts {
+		out[i] = c.compileStmt(s)
+	}
+	return out
+}
+
+// members precomputes the selector's membership as a dense mask.
+func (c *compiler) members(sel TaskSel) []bool {
+	m := make([]bool, c.n)
+	for _, t := range sel.Members(c.n) {
+		m[t] = true
+	}
+	return m
+}
+
+// peers precomputes a rank expression for every executing task.
+func (c *compiler) peers(e RankExpr) []int {
+	out := make([]int, c.n)
+	for t := range out {
+		out[t] = e.Eval(t, c.n)
+	}
+	return out
+}
+
+// maskOf precomputes a concrete task set as a dense mask.
+func (c *compiler) maskOf(s taskset.Set) []bool {
+	m := make([]bool, c.n)
+	for _, t := range s.Members() {
+		if t >= 0 && t < c.n {
+			m[t] = true
+		}
+	}
+	return m
+}
+
+// commRefFor resolves the communicator covering the union of the given task
+// sets, mirroring taskState.commFor: the world communicator when the union
+// covers every task (or was never planned), the planned sub-communicator
+// otherwise. It also returns the union itself for root computations.
+func (c *compiler) commRefFor(sets ...taskset.Set) (commRef, taskset.Set) {
+	u := taskset.Empty
+	for _, s := range sets {
+		u = u.Union(s)
+	}
+	if u.Size() == c.n {
+		return worldRef, u
+	}
+	if i, ok := c.planIdx[u.String()]; ok {
+		return commRef(i), u
+	}
+	return worldRef, u
+}
+
+// rootRank precomputes the communicator-relative rank of world rank w inside
+// the communicator ref resolves to. Planned communicators are created by
+// CommSplit keyed on world rank, so their group is the union's members in
+// ascending order; the world communicator numbers ranks identically.
+func rootRank(ref commRef, union taskset.Set, w int) int {
+	if ref == worldRef {
+		return w
+	}
+	for i, m := range union.Members() {
+		if m == w {
+			return i
+		}
+	}
+	return 0 // unreachable: the root is always a member of the union
+}
+
+// commAt returns the live communicator for a compile-time reference.
+func (st *taskState) commAt(ref commRef) *mpi.Comm {
+	if ref == worldRef {
+		return st.world
+	}
+	if c := st.planComms[ref]; c != nil {
+		return c
+	}
+	return st.world // not a member; mirrors commFor's safety fallback
+}
+
+func (c *compiler) compileStmt(s Stmt) compiledStep {
+	switch x := s.(type) {
+	case *LoopStmt:
+		body := c.compileStmts(x.Body)
+		count := x.Count
+		return func(st *taskState) {
+			for i := 0; i < count; i++ {
+				for _, f := range body {
+					f(st)
+				}
+			}
+		}
+	case *SendStmt:
+		members, dst, size := c.members(x.Who), c.peers(x.Dest), x.Size
+		if x.Async {
+			return func(st *taskState) {
+				if members[st.me] {
+					st.outstanding = append(st.outstanding, st.rank.Isend(st.world, dst[st.me], 0, size))
+				}
+			}
+		}
+		return func(st *taskState) {
+			if members[st.me] {
+				st.rank.Send(st.world, dst[st.me], 0, size)
+			}
+		}
+	case *RecvStmt:
+		members, src, size := c.members(x.Who), c.peers(x.Source), x.Size
+		if x.Async {
+			return func(st *taskState) {
+				if members[st.me] {
+					st.outstanding = append(st.outstanding, st.rank.Irecv(st.world, src[st.me], 0, size))
+				}
+			}
+		}
+		return func(st *taskState) {
+			if members[st.me] {
+				st.rank.Recv(st.world, src[st.me], 0, size)
+			}
+		}
+	case *AwaitStmt:
+		members := c.members(x.Who)
+		return func(st *taskState) {
+			if members[st.me] && len(st.outstanding) > 0 {
+				st.rank.Waitall(st.outstanding...)
+				st.outstanding = st.outstanding[:0]
+			}
+		}
+	case *SyncStmt:
+		members := c.members(x.Who)
+		ref, _ := c.commRefFor(x.Who.Set(c.n))
+		return func(st *taskState) {
+			if members[st.me] {
+				st.rank.Barrier(st.commAt(ref))
+			}
+		}
+	case *ReduceStmt:
+		return c.compileReduce(x)
+	case *MulticastStmt:
+		return c.compileMulticast(x)
+	case *ComputeStmt:
+		members, us := c.members(x.Who), x.USecs
+		return func(st *taskState) {
+			if members[st.me] {
+				st.rank.Compute(us)
+			}
+		}
+	case *ResetStmt:
+		members := c.members(x.Who)
+		return func(st *taskState) {
+			if members[st.me] {
+				st.resetAt = st.rank.Clock()
+			}
+		}
+	case *LogStmt:
+		members, label := c.members(x.Who), x.Label
+		return func(st *taskState) {
+			if !members[st.me] {
+				return
+			}
+			entry := LogEntry{Label: label, Task: st.me, Value: st.rank.Clock() - st.resetAt}
+			st.mu.Lock()
+			*st.logs = append(*st.logs, entry)
+			st.mu.Unlock()
+		}
+	default:
+		// Unknown statements are inert, as in the tree-walk interpreter.
+		return func(*taskState) {}
+	}
+}
+
+// compileReduce mirrors execReduce: sources equal to destinations is an
+// allreduce, a singleton destination a rooted reduce, anything else a reduce
+// followed by a multicast among the destinations.
+func (c *compiler) compileReduce(x *ReduceStmt) compiledStep {
+	srcs, dsts := x.Srcs.Set(c.n), x.Dsts.Set(c.n)
+	ref, union := c.commRefFor(srcs, dsts)
+	part := c.maskOf(union)
+	size := x.Size
+	switch {
+	case srcs.Equal(dsts):
+		return func(st *taskState) {
+			if part[st.me] {
+				st.rank.Allreduce(st.commAt(ref), size)
+			}
+		}
+	case dsts.Size() == 1:
+		root := rootRank(ref, union, dsts.Min())
+		return func(st *taskState) {
+			if part[st.me] {
+				st.rank.Reduce(st.commAt(ref), root, size)
+			}
+		}
+	default:
+		root := rootRank(ref, union, dsts.Min())
+		return func(st *taskState) {
+			if part[st.me] {
+				comm := st.commAt(ref)
+				st.rank.Reduce(comm, root, size)
+				st.rank.Bcast(comm, root, size)
+			}
+		}
+	}
+}
+
+// compileMulticast mirrors execMulticast: a singleton source is a broadcast,
+// multiple sources a many-to-many exchange.
+func (c *compiler) compileMulticast(x *MulticastStmt) compiledStep {
+	srcs, dsts := x.Srcs.Set(c.n), x.Dsts.Set(c.n)
+	ref, union := c.commRefFor(srcs, dsts)
+	part := c.maskOf(union)
+	size := x.Size
+	if srcs.Size() == 1 {
+		root := rootRank(ref, union, srcs.Min())
+		return func(st *taskState) {
+			if part[st.me] {
+				st.rank.Bcast(st.commAt(ref), root, size)
+			}
+		}
+	}
+	return func(st *taskState) {
+		if part[st.me] {
+			st.rank.Alltoall(st.commAt(ref), size)
+		}
+	}
+}

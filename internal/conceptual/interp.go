@@ -31,7 +31,8 @@ type RunResult struct {
 type RunOption func(*runConfig)
 
 type runConfig struct {
-	mpiOpts []mpi.Option
+	mpiOpts  []mpi.Option
+	treeWalk bool
 }
 
 // WithMPIOptions forwards options (tracers, timeouts) to the underlying
@@ -39,6 +40,14 @@ type runConfig struct {
 // as in Section 5.2.
 func WithMPIOptions(opts ...mpi.Option) RunOption {
 	return func(c *runConfig) { c.mpiOpts = append(c.mpiOpts, opts...) }
+}
+
+// WithTreeWalk interprets the AST directly instead of running the compiled
+// closure tree. Both paths issue identical runtime calls and produce
+// bit-identical virtual clocks; the tree walker is kept as the reference for
+// differential tests.
+func WithTreeWalk() RunOption {
+	return func(c *runConfig) { c.treeWalk = true }
 }
 
 // Execute interprets the program on n simulated tasks over the given network
@@ -58,28 +67,52 @@ func Execute(p *Program, n int, model *netmodel.Model, opts ...RunOption) (*RunR
 	// order, as the coNCePTuaL runtime does during initialization.
 	plans := collectCommPlans(p.Stmts, n)
 
+	// Lower the program to a closure tree once; every task executes the same
+	// compiled steps. The tree walker remains available via WithTreeWalk.
+	var compiled *compiledProgram
+	if !cfg.treeWalk {
+		compiled = compileProgram(p, n, plans)
+	}
+
 	var mu sync.Mutex
 	var logs []LogEntry
 
 	body := func(r *mpi.Rank) {
 		st := &taskState{
 			rank:  r,
+			me:    r.Rank(),
 			n:     n,
-			comms: map[string]*mpi.Comm{},
+			world: r.World(),
 			mu:    &mu,
 			logs:  &logs,
 		}
-		for _, plan := range plans {
+		if cfg.treeWalk {
+			st.comms = map[string]*mpi.Comm{}
+		} else {
+			st.planComms = make([]*mpi.Comm, len(plans))
+		}
+		for i, plan := range plans {
 			color := -1
 			if plan.set.Contains(r.Rank()) {
 				color = 0
 			}
 			sub := r.CommSplit(r.World(), color, r.Rank())
-			if sub != nil {
+			if sub == nil {
+				continue
+			}
+			if cfg.treeWalk {
 				st.comms[plan.key] = sub
+			} else {
+				st.planComms[i] = sub
 			}
 		}
-		st.exec(p.Stmts)
+		if cfg.treeWalk {
+			st.exec(p.Stmts)
+		} else {
+			for _, f := range compiled.steps {
+				f(st)
+			}
+		}
 		if len(st.outstanding) > 0 {
 			r.Waitall(st.outstanding...)
 			st.outstanding = nil
@@ -152,11 +185,15 @@ func collectCommPlans(stmts []Stmt, n int) []commPlan {
 	return plans
 }
 
-// taskState is one task's interpreter state.
+// taskState is one task's interpreter state, shared by the compiled closure
+// tree (me/world/planComms) and the tree-walk reference path (comms).
 type taskState struct {
 	rank        *mpi.Rank
+	me          int
 	n           int
-	comms       map[string]*mpi.Comm // task-group key -> communicator
+	world       *mpi.Comm
+	planComms   []*mpi.Comm          // plan position -> communicator (compiled path)
+	comms       map[string]*mpi.Comm // task-group key -> communicator (tree walk)
 	outstanding []*mpi.Request
 	resetAt     float64
 	mu          *sync.Mutex

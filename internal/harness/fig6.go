@@ -48,27 +48,42 @@ func SmallFig6Counts() map[string][]int {
 
 // Fig6 reproduces the timing-accuracy experiment: for every app and node
 // count, trace the original, generate the benchmark, run both on the same
-// platform model, and compare total times.
+// platform model, and compare total times. Configurations are independent
+// simulated worlds and run concurrently on the harness pool; the point order
+// (and every value) is the same for any worker count.
 func Fig6(class apps.Class, counts map[string][]int, model *netmodel.Model) ([]Fig6Point, error) {
-	var points []Fig6Point
+	type job struct {
+		name string
+		n    int
+	}
+	var jobs []job
 	for _, name := range orderedApps(counts) {
 		for _, n := range counts[name] {
-			run, err := TraceApp(name, apps.NewConfig(n, class), model)
-			if err != nil {
-				return nil, fmt.Errorf("fig6 %s/%d: %w", name, n, err)
-			}
-			bench, err := GenerateAndRun(run.Trace, model)
-			if err != nil {
-				return nil, fmt.Errorf("fig6 %s/%d: %w", name, n, err)
-			}
-			points = append(points, Fig6Point{
-				App:         name,
-				Ranks:       n,
-				OriginalUS:  run.ElapsedUS,
-				GeneratedUS: bench.ElapsedUS,
-				ErrPct:      stats.AbsPercentError(bench.ElapsedUS, run.ElapsedUS),
-			})
+			jobs = append(jobs, job{name, n})
 		}
+	}
+	points := make([]Fig6Point, len(jobs))
+	err := forEach(len(jobs), func(i int) error {
+		j := jobs[i]
+		run, err := TraceApp(j.name, apps.NewConfig(j.n, class), model)
+		if err != nil {
+			return fmt.Errorf("fig6 %s/%d: %w", j.name, j.n, err)
+		}
+		bench, err := GenerateAndRun(run.Trace, model)
+		if err != nil {
+			return fmt.Errorf("fig6 %s/%d: %w", j.name, j.n, err)
+		}
+		points[i] = Fig6Point{
+			App:         j.name,
+			Ranks:       j.n,
+			OriginalUS:  run.ElapsedUS,
+			GeneratedUS: bench.ElapsedUS,
+			ErrPct:      stats.AbsPercentError(bench.ElapsedUS, run.ElapsedUS),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return points, nil
 }

@@ -65,14 +65,25 @@ func Fig7(class apps.Class, n int, model *netmodel.Model) ([]Fig7Point, error) {
 	if err != nil {
 		return nil, fmt.Errorf("fig7: %w", err)
 	}
-	var points []Fig7Point
+	// The eleven scaled variants are independent executions of deep-copied
+	// programs; run them concurrently on the harness pool.
+	var pcts []int
 	for pct := 100; pct >= 0; pct -= 10 {
+		pcts = append(pcts, pct)
+	}
+	points := make([]Fig7Point, len(pcts))
+	err = forEach(len(pcts), func(i int) error {
+		pct := pcts[i]
 		scaled := ScaleCompute(bench.Program, float64(pct)/100)
 		res, err := RunProgram(scaled, n, model)
 		if err != nil {
-			return nil, fmt.Errorf("fig7 at %d%%: %w", pct, err)
+			return fmt.Errorf("fig7 at %d%%: %w", pct, err)
 		}
-		points = append(points, Fig7Point{ComputePct: pct, TotalUS: res.ElapsedUS})
+		points[i] = Fig7Point{ComputePct: pct, TotalUS: res.ElapsedUS}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return points, nil
 }

@@ -46,7 +46,8 @@ func TraceApp(name string, cfg apps.Config, model *netmodel.Model) (*AppRun, err
 	tracers := func(rank int) mpi.Tracer {
 		return mpi.MultiTracer{col.TracerFor(rank), prof.TracerFor(rank)}
 	}
-	res, err := mpi.Run(cfg.N, model, app.Body(cfg), mpi.WithTracer(tracers))
+	res, err := mpi.Run(cfg.N, model, app.Body(cfg),
+		append(runOptions(), mpi.WithTracer(tracers))...)
 	if err != nil {
 		return nil, fmt.Errorf("harness: running %s: %w", name, err)
 	}
@@ -88,7 +89,7 @@ func RunProgram(prog *conceptual.Program, n int, model *netmodel.Model) (*Benchm
 		return mpi.MultiTracer{col.TracerFor(rank), prof.TracerFor(rank)}
 	}
 	res, err := conceptual.Execute(prog, n, model,
-		conceptual.WithMPIOptions(mpi.WithTracer(tracers)))
+		conceptual.WithMPIOptions(append(runOptions(), mpi.WithTracer(tracers))...))
 	if err != nil {
 		return nil, fmt.Errorf("harness: executing generated benchmark: %w", err)
 	}

@@ -25,39 +25,55 @@ type NoisePoint struct {
 // streams), so the comparison degrades the way two real runs of the same
 // binary would.
 func NoiseSensitivity(appNames []string, n int, class apps.Class, fractions []float64) ([]NoisePoint, error) {
-	var points []NoisePoint
+	type job struct {
+		frac float64
+		name string
+	}
+	var jobs []job
 	for _, frac := range fractions {
-		model := netmodel.BlueGeneL()
-		model.NoiseFraction = frac
-		model.NoiseSeed = 1
 		for _, name := range appNames {
-			ranks := n
-			app := apps.ByName(name)
-			if app == nil {
+			if apps.ByName(name) == nil {
 				return nil, fmt.Errorf("noise: unknown app %q", name)
 			}
-			for !app.ValidRanks(ranks) {
-				ranks--
-			}
-			run, err := TraceApp(name, apps.NewConfig(ranks, class), model)
-			if err != nil {
-				return nil, err
-			}
-			// The vendor's machine is the same platform but never the same
-			// noise instance; use a different seed for the benchmark run.
-			benchModel := netmodel.BlueGeneL()
-			benchModel.NoiseFraction = frac
-			benchModel.NoiseSeed = 2
-			bench, err := GenerateAndRun(run.Trace, benchModel)
-			if err != nil {
-				return nil, err
-			}
-			points = append(points, NoisePoint{
-				App:           name,
-				NoiseFraction: frac,
-				ErrPct:        stats.AbsPercentError(bench.ElapsedUS, run.ElapsedUS),
-			})
+			jobs = append(jobs, job{frac, name})
 		}
+	}
+	// Each (fraction, app) cell builds its own models (NoiseUS is a pure
+	// function of seed/rank/event, so a fresh model with the same seed is the
+	// same noise instance) and runs concurrently on the harness pool.
+	points := make([]NoisePoint, len(jobs))
+	err := forEach(len(jobs), func(i int) error {
+		j := jobs[i]
+		ranks := n
+		app := apps.ByName(j.name)
+		for !app.ValidRanks(ranks) {
+			ranks--
+		}
+		model := netmodel.BlueGeneL()
+		model.NoiseFraction = j.frac
+		model.NoiseSeed = 1
+		run, err := TraceApp(j.name, apps.NewConfig(ranks, class), model)
+		if err != nil {
+			return err
+		}
+		// The vendor's machine is the same platform but never the same
+		// noise instance; use a different seed for the benchmark run.
+		benchModel := netmodel.BlueGeneL()
+		benchModel.NoiseFraction = j.frac
+		benchModel.NoiseSeed = 2
+		bench, err := GenerateAndRun(run.Trace, benchModel)
+		if err != nil {
+			return err
+		}
+		points[i] = NoisePoint{
+			App:           j.name,
+			NoiseFraction: j.frac,
+			ErrPct:        stats.AbsPercentError(bench.ElapsedUS, run.ElapsedUS),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return points, nil
 }

@@ -88,35 +88,42 @@ type OverlapPoint struct {
 // OverlapStudy traces the apps, generates their benchmarks, applies
 // OverlapCompute, and measures the payoff on the given platform model.
 func OverlapStudy(appNames []string, n int, class apps.Class, model *netmodel.Model) ([]OverlapPoint, error) {
-	var points []OverlapPoint
 	for _, name := range appNames {
-		app := apps.ByName(name)
-		if app == nil {
+		if apps.ByName(name) == nil {
 			return nil, fmt.Errorf("overlap: unknown app %q", name)
 		}
+	}
+	points := make([]OverlapPoint, len(appNames))
+	err := forEach(len(appNames), func(i int) error {
+		name := appNames[i]
+		app := apps.ByName(name)
 		ranks := n
 		for !app.ValidRanks(ranks) {
 			ranks--
 		}
 		run, err := TraceApp(name, apps.NewConfig(ranks, class), model)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		bench, err := GenerateAndRun(run.Trace, model)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		overlapped, err := RunProgram(OverlapCompute(bench.Program), ranks, model)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		points = append(points, OverlapPoint{
+		points[i] = OverlapPoint{
 			App:          name,
 			Ranks:        ranks,
 			BaselineUS:   bench.ElapsedUS,
 			OverlappedUS: overlapped.ElapsedUS,
 			SpeedupPct:   100 * (bench.ElapsedUS - overlapped.ElapsedUS) / bench.ElapsedUS,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return points, nil
 }

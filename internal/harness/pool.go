@@ -1,0 +1,103 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/mpi"
+)
+
+// poolOverride pins the number of experiment configurations the harness runs
+// concurrently. Zero means "use GOMAXPROCS". Every configuration (one traced
+// app, one generated-benchmark execution, one what-if variant) is an
+// independent simulated world, so fanning them across workers changes only
+// wall-clock time, never results: each job writes its own index-addressed
+// result slot and builds its own collectors, profiles and models.
+var poolOverride atomic.Int32
+
+// runTimeoutNS overrides the wall-clock deadline forwarded to every simulated
+// run the harness starts. Zero keeps the runtime default.
+var runTimeoutNS atomic.Int64
+
+// SetParallelism sets how many experiment configurations run concurrently.
+// k <= 0 restores the default (GOMAXPROCS). Results are identical for every
+// worker count.
+func SetParallelism(k int) {
+	if k < 0 {
+		k = 0
+	}
+	poolOverride.Store(int32(k))
+}
+
+// Parallelism returns the effective concurrent-configuration count.
+func Parallelism() int {
+	if k := poolOverride.Load(); k > 0 {
+		return int(k)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetRunTimeout bounds the real (wall-clock) duration of each simulated run
+// the harness launches. d <= 0 restores the runtime's default deadline.
+func SetRunTimeout(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	runTimeoutNS.Store(int64(d))
+}
+
+// runOptions returns the mpi options every harness-started run receives.
+func runOptions() []mpi.Option {
+	if d := time.Duration(runTimeoutNS.Load()); d > 0 {
+		return []mpi.Option{mpi.WithTimeout(d)}
+	}
+	return nil
+}
+
+// forEach runs fn(i) for every i in [0, n) on up to Parallelism() workers.
+// Jobs must be independent and write results into index-addressed slots, so
+// the outcome does not depend on scheduling. The returned error is the
+// lowest-index failure, which keeps error reporting deterministic too. Each
+// job is a whole simulated world, so work is handed out one index at a time.
+func forEach(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := Parallelism()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+package harness
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/conceptual"
+	"repro/internal/netmodel"
+)
+
+// TestPoolWorkerCountInvariance pins the harness-pool contract: every study
+// result is identical whether configurations run sequentially or fanned
+// across workers.
+func TestPoolWorkerCountInvariance(t *testing.T) {
+	defer SetParallelism(0)
+	counts := map[string][]int{"cg": {8, 16}, "ring": {8, 16}, "is": {8}}
+
+	SetParallelism(1)
+	seq, err := Fig6(apps.ClassS, counts, netmodel.BlueGeneL())
+	if err != nil {
+		t.Fatalf("sequential Fig6: %v", err)
+	}
+	SetParallelism(4)
+	par, err := Fig6(apps.ClassS, counts, netmodel.BlueGeneL())
+	if err != nil {
+		t.Fatalf("parallel Fig6: %v", err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("point counts differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Errorf("point %d differs: sequential %+v, parallel %+v", i, seq[i], par[i])
+		}
+	}
+}
+
+func TestForEachReportsLowestIndexError(t *testing.T) {
+	defer SetParallelism(0)
+	SetParallelism(8)
+	errA := errors.New("a")
+	errB := errors.New("b")
+	for trial := 0; trial < 20; trial++ {
+		err := forEach(16, func(i int) error {
+			switch i {
+			case 3:
+				return errB
+			case 1:
+				return errA
+			}
+			return nil
+		})
+		if err != errA {
+			t.Fatalf("trial %d: got %v, want the lowest-index error %v", trial, err, errA)
+		}
+	}
+}
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	defer SetParallelism(0)
+	SetParallelism(5)
+	var hits [64]atomic.Int32
+	if err := forEach(len(hits), func(i int) error {
+		hits[i].Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range hits {
+		if got := hits[i].Load(); got != 1 {
+			t.Fatalf("index %d ran %d times", i, got)
+		}
+	}
+}
+
+// TestRunTimeoutForwarded checks that SetRunTimeout reaches the simulated
+// runtime: a deliberately deadlocking receive must be reported within the
+// configured deadline instead of hanging for the runtime's 60-second default.
+func TestRunTimeoutForwarded(t *testing.T) {
+	defer SetRunTimeout(0)
+	SetRunTimeout(100 * time.Millisecond)
+	p := &conceptual.Program{Stmts: []conceptual.Stmt{
+		// Task 0 waits for a message task 1 never sends.
+		&conceptual.RecvStmt{Who: conceptual.OneTask(0), Size: 8, Source: conceptual.AbsRank(1)},
+	}}
+	start := time.Now()
+	_, err := RunProgram(p, 2, netmodel.Ideal())
+	if err == nil {
+		t.Fatal("deadlocking program completed")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("deadlock took %v to report with a 100ms run timeout", elapsed)
+	}
+}

@@ -28,24 +28,29 @@ type ScalingPoint struct {
 // count — the sublinearity claims of Section 2's first bullet. The ideal
 // network model is used since only structure matters.
 func Scaling(name string, class apps.Class, counts []int) ([]ScalingPoint, error) {
-	var points []ScalingPoint
-	for _, n := range counts {
+	points := make([]ScalingPoint, len(counts))
+	err := forEach(len(counts), func(i int) error {
+		n := counts[i]
 		run, err := TraceApp(name, apps.NewConfig(n, class), netmodel.Ideal())
 		if err != nil {
-			return nil, fmt.Errorf("scaling %s/%d: %w", name, n, err)
+			return fmt.Errorf("scaling %s/%d: %w", name, n, err)
 		}
 		prog, err := core.Generate(run.Trace, nil)
 		if err != nil {
-			return nil, fmt.Errorf("scaling %s/%d: %w", name, n, err)
+			return fmt.Errorf("scaling %s/%d: %w", name, n, err)
 		}
-		points = append(points, ScalingPoint{
+		points[i] = ScalingPoint{
 			App:         name,
 			Ranks:       n,
 			Events:      run.Trace.TotalEvents(),
 			TraceNodes:  run.Trace.NodeCount(),
 			Stmts:       prog.StmtCount(),
 			SourceBytes: len(conceptual.Print(prog)),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return points, nil
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"sync/atomic"
+
+	"repro/internal/netmodel"
 )
 
 // myCommRank returns the caller's rank within c, panicking if the caller is
@@ -16,118 +18,126 @@ func (r *Rank) myCommRank(c *Comm) int {
 	return me
 }
 
-// runCollective executes one synchronizing collective with a cost that may
-// depend on all per-rank contributions, then records the event.
-func (r *Rank) runCollective(c *Comm, op Op, contrib any,
-	cost func(contribs []any) float64, ev *Event) {
-	st := r.enter()
-	me := r.myCommRank(c)
-	completion, shadowDone, _ := c.sync.arrive(me, op, r.clock, r.shadow, contrib,
-		func(maxClock float64, contribs []any) (float64, any) {
-			return maxClock + cost(contribs), nil
-		})
-	r.clock = completion
-	r.shadow = shadowDone
-	ev.Op = op
-	ev.CommID = c.id
-	ev.CommSize = c.Size()
-	ev.Peer = NoPeer
-	ev.PeerWorld = NoPeer
-	r.record(st, ev)
+// costKind selects a collective cost formula in evalCollCost.
+type costKind uint8
+
+const (
+	costZero     costKind = iota // completion is the arrival front (Finalize)
+	costBarrier                  // model.BarrierUS(p)
+	costTree                     // factor * model.CollectiveUS(p, maxContrib/div)
+	costAlltoall                 // model.AlltoallUS(p, maxContrib)
+)
+
+// collCost describes a collective's cost function as plain data. The
+// rendezvous hands it, together with the round's maximum contribution, to
+// evalCollCost — replacing the per-call cost closure, whose capture allocated
+// on every collective on every rank.
+type collCost struct {
+	kind   costKind
+	p      int     // communicator size
+	factor float64 // phase multiplier (2 for the all-variants)
+	div    int     // contribution divisor (p for the v-variants)
 }
 
-// maxContrib returns the largest int contribution of a collective round.
-func maxContrib(contribs []any) int {
-	max := 0
-	for _, c := range contribs {
-		if v, ok := c.(int); ok && v > max {
-			max = v
-		}
+// evalCollCost computes a round's cost from its maximum contribution. It is
+// evaluated once per round by the last arriver; every formula depends only on
+// the model, the communicator size and the contribution max, so the result is
+// independent of which member runs it.
+func evalCollCost(m *netmodel.Model, cc collCost, maxContrib int) float64 {
+	switch cc.kind {
+	case costBarrier:
+		return m.BarrierUS(cc.p)
+	case costTree:
+		return cc.factor * m.CollectiveUS(cc.p, maxContrib/cc.div)
+	case costAlltoall:
+		return m.AlltoallUS(cc.p, maxContrib)
 	}
-	return max
+	return 0
+}
+
+// runCollective executes one synchronizing collective whose cost is a
+// collCost of the round's maximum contribution, then records the event.
+// The event is built only when a tracer is attached: untraced runs pay the
+// rendezvous and two clock stores, never touching the (large) Event struct.
+func (r *Rank) runCollective(c *Comm, op Op, contrib int, cc collCost, size, root int, counts []int) {
+	st := r.enter()
+	me := r.myCommRank(c)
+	completion, shadowDone := c.sync.arriveFixed(me, op, r.clock, r.shadow, contrib, r.w.model, cc)
+	r.clock = completion
+	r.shadow = shadowDone
+	if r.tracer == nil {
+		r.lastOpEnd = r.clock
+		return
+	}
+	ev := Event{Op: op, CommID: c.id, CommSize: c.Size(),
+		Peer: NoPeer, PeerWorld: NoPeer,
+		Size: size, Counts: counts, Root: root}
+	r.record(st, &ev)
 }
 
 // Barrier blocks until every member of c has entered the barrier.
 func (r *Rank) Barrier(c *Comm) {
 	r.checkActive()
-	p := c.Size()
-	r.runCollective(c, OpBarrier, nil,
-		func([]any) float64 { return r.w.model.BarrierUS(p) },
-		&Event{Size: 0, Root: -1})
+	r.runCollective(c, OpBarrier, 0,
+		collCost{kind: costBarrier, p: c.Size()}, 0, -1, nil)
 }
 
 // Bcast broadcasts size bytes from the communicator-relative root.
 func (r *Rank) Bcast(c *Comm, root, size int) {
 	r.checkActive()
-	p := c.Size()
 	r.runCollective(c, OpBcast, size,
-		func(cs []any) float64 { return r.w.model.CollectiveUS(p, maxContrib(cs)) },
-		&Event{Size: size, Root: root})
+		collCost{kind: costTree, p: c.Size(), factor: 1, div: 1}, size, root, nil)
 }
 
 // Reduce combines size bytes from every member at the root.
 func (r *Rank) Reduce(c *Comm, root, size int) {
 	r.checkActive()
-	p := c.Size()
 	r.runCollective(c, OpReduce, size,
-		func(cs []any) float64 { return r.w.model.CollectiveUS(p, maxContrib(cs)) },
-		&Event{Size: size, Root: root})
+		collCost{kind: costTree, p: c.Size(), factor: 1, div: 1}, size, root, nil)
 }
 
 // Allreduce combines size bytes from every member and distributes the result
 // to all (two tree phases).
 func (r *Rank) Allreduce(c *Comm, size int) {
 	r.checkActive()
-	p := c.Size()
 	r.runCollective(c, OpAllreduce, size,
-		func(cs []any) float64 { return 2 * r.w.model.CollectiveUS(p, maxContrib(cs)) },
-		&Event{Size: size, Root: -1})
+		collCost{kind: costTree, p: c.Size(), factor: 2, div: 1}, size, -1, nil)
 }
 
 // Gather collects size bytes from every member at the root.
 func (r *Rank) Gather(c *Comm, root, size int) {
 	r.checkActive()
-	p := c.Size()
 	r.runCollective(c, OpGather, size,
-		func(cs []any) float64 { return r.w.model.CollectiveUS(p, maxContrib(cs)) },
-		&Event{Size: size, Root: root})
+		collCost{kind: costTree, p: c.Size(), factor: 1, div: 1}, size, root, nil)
 }
 
 // Gatherv collects a per-rank number of bytes (this rank contributes size)
 // at the root.
 func (r *Rank) Gatherv(c *Comm, root, size int) {
 	r.checkActive()
-	p := c.Size()
 	r.runCollective(c, OpGatherv, size,
-		func(cs []any) float64 { return r.w.model.CollectiveUS(p, maxContrib(cs)) },
-		&Event{Size: size, Root: root})
+		collCost{kind: costTree, p: c.Size(), factor: 1, div: 1}, size, root, nil)
 }
 
 // Allgather collects size bytes from every member at every member.
 func (r *Rank) Allgather(c *Comm, size int) {
 	r.checkActive()
-	p := c.Size()
 	r.runCollective(c, OpAllgather, size,
-		func(cs []any) float64 { return 2 * r.w.model.CollectiveUS(p, maxContrib(cs)) },
-		&Event{Size: size, Root: -1})
+		collCost{kind: costTree, p: c.Size(), factor: 2, div: 1}, size, -1, nil)
 }
 
 // Allgatherv collects a per-rank number of bytes at every member.
 func (r *Rank) Allgatherv(c *Comm, size int) {
 	r.checkActive()
-	p := c.Size()
 	r.runCollective(c, OpAllgatherv, size,
-		func(cs []any) float64 { return 2 * r.w.model.CollectiveUS(p, maxContrib(cs)) },
-		&Event{Size: size, Root: -1})
+		collCost{kind: costTree, p: c.Size(), factor: 2, div: 1}, size, -1, nil)
 }
 
 // Scatter distributes size bytes from the root to each member.
 func (r *Rank) Scatter(c *Comm, root, size int) {
 	r.checkActive()
-	p := c.Size()
 	r.runCollective(c, OpScatter, size,
-		func(cs []any) float64 { return r.w.model.CollectiveUS(p, maxContrib(cs)) },
-		&Event{Size: size, Root: root})
+		collCost{kind: costTree, p: c.Size(), factor: 1, div: 1}, size, root, nil)
 }
 
 // Scatterv distributes counts[i] bytes from the root to comm rank i. All
@@ -141,17 +151,14 @@ func (r *Rank) Scatterv(c *Comm, root int, counts []int) {
 		mySize = counts[me]
 	}
 	r.runCollective(c, OpScatterv, sumInts(counts),
-		func(cs []any) float64 { return r.w.model.CollectiveUS(p, maxContrib(cs)/maxInt(p, 1)) },
-		&Event{Size: mySize, Counts: append([]int(nil), counts...), Root: root})
+		collCost{kind: costTree, p: p, factor: 1, div: maxInt(p, 1)}, mySize, root, counts)
 }
 
 // Alltoall exchanges size bytes between every pair of members.
 func (r *Rank) Alltoall(c *Comm, size int) {
 	r.checkActive()
-	p := c.Size()
 	r.runCollective(c, OpAlltoall, size,
-		func(cs []any) float64 { return r.w.model.AlltoallUS(p, maxContrib(cs)) },
-		&Event{Size: size, Root: -1})
+		collCost{kind: costAlltoall, p: c.Size()}, size, -1, nil)
 }
 
 // Alltoallv exchanges counts[i] bytes with comm rank i.
@@ -164,8 +171,7 @@ func (r *Rank) Alltoallv(c *Comm, counts []int) {
 		avg = total / p
 	}
 	r.runCollective(c, OpAlltoallv, avg,
-		func(cs []any) float64 { return r.w.model.AlltoallUS(p, maxContrib(cs)) },
-		&Event{Size: total, Counts: append([]int(nil), counts...), Root: -1})
+		collCost{kind: costAlltoall, p: p}, total, -1, counts)
 }
 
 // ReduceScatter combines counts[i] bytes across members and scatters segment
@@ -175,8 +181,7 @@ func (r *Rank) ReduceScatter(c *Comm, counts []int) {
 	p := c.Size()
 	total := sumInts(counts)
 	r.runCollective(c, OpReduceScatter, total,
-		func(cs []any) float64 { return 2 * r.w.model.CollectiveUS(p, maxContrib(cs)/maxInt(p, 1)) },
-		&Event{Size: total, Counts: append([]int(nil), counts...), Root: -1})
+		collCost{kind: costTree, p: p, factor: 2, div: maxInt(p, 1)}, total, -1, counts)
 }
 
 // CommSplit partitions c into disjoint communicators by color, ordering each
@@ -208,13 +213,13 @@ func (r *Rank) CommSplit(c *Comm, color, key int) *Comm {
 	r.shadow = shadowDone
 	comms := shared.(map[int]*Comm)
 	nc := comms[color]
-	ev := &Event{Op: OpCommSplit, CommID: c.id, CommSize: c.Size(),
+	ev := Event{Op: OpCommSplit, CommID: c.id, CommSize: c.Size(),
 		Peer: NoPeer, PeerWorld: NoPeer, Root: -1}
 	if nc != nil {
 		ev.Group = nc.Group()
 		ev.NewCommID = nc.id
 	}
-	r.record(st, ev)
+	r.record(st, &ev)
 	return nc
 }
 
@@ -248,8 +253,8 @@ func (r *Rank) Finalize() {
 	c := r.w.commWorld
 	st := r.enter()
 	me := r.myCommRank(c)
-	completion, shadowDone, _ := c.sync.arrive(me, OpFinalize, r.clock, r.shadow, nil,
-		func(maxClock float64, _ []any) (float64, any) { return maxClock, nil })
+	completion, shadowDone := c.sync.arriveFixed(me, OpFinalize, r.clock, r.shadow, 0,
+		r.w.model, collCost{kind: costZero})
 	r.clock = completion
 	r.shadow = shadowDone
 	r.record(st, &Event{Op: OpFinalize, CommID: c.id, CommSize: c.Size(),

@@ -1,0 +1,163 @@
+package mpi
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/netmodel"
+)
+
+// collEntry is one member's arrival record for a fixed-cost collective
+// round: its virtual clocks and its byte contribution.
+type collEntry struct {
+	clock   float64
+	shadow  float64
+	contrib int
+}
+
+// collRound is the state of one fixed-cost collective round under fastColl.
+// The per-member arrival data lives in the communicator-wide entries buffer
+// (see fastColl); the round itself holds only the op tag, the arrival
+// counter and the published results, so a round is a small constant-size
+// allocation regardless of communicator size.
+type collRound struct {
+	op      atomic.Int64 // first arriver's Op + 1; 0 = round untouched
+	arrived atomic.Int32
+
+	// sealed is set by the last arriver once the results are written and the
+	// next round is published; done is closed immediately after. Waiters
+	// spin-yield on sealed a few times before parking on done, which turns
+	// the common tightly-spaced round into a handful of scheduler yields
+	// instead of a park/unpark pair per member.
+	sealed atomic.Bool
+	done   chan struct{}
+
+	completion       float64
+	shadowCompletion float64
+}
+
+func newCollRound() *collRound {
+	return &collRound{done: make(chan struct{})}
+}
+
+// fastColl is the default collSync: a combining barrier whose arrival path
+// is two plain float stores, an int store and one atomic counter increment.
+// Each member writes its clocks and contribution into its own slot of a
+// shared per-communicator buffer, then increments the round's arrival
+// counter; the member whose increment reaches the communicator size
+// happens-after every other arrival (Go atomics are sequentially
+// consistent), so it alone reads the buffer, reduces it and publishes the
+// results. Waiters block on a channel close instead of a condition
+// variable, so the wakeup does not serialize the members through a mutex.
+//
+// One entries buffer per communicator suffices even though members race
+// ahead into the next round: slots are read only by a round's last arriver,
+// before it seals the round, and a member can write its slot for the next
+// round only after it observed the seal (through the sealed flag or the
+// done channel) — so every next-round write happens-after the previous
+// round's reads.
+//
+// Rounds are matched structurally: cur always points at the open round, and
+// since a round cannot complete without every member arriving once, a
+// member loading cur always joins the round it belongs to.
+//
+// General rounds (CommSplit, CommDup) must gather arbitrary contributions
+// or distribute a built value, which the max-only buffer cannot express;
+// those delegate to an embedded lockedColl. The two mechanisms interleave
+// safely because program order is the round order: round k is fixed-cost on
+// every member or general on every member, and a member reaches round k+1
+// only after round k completed on all members. (The price is that a
+// *mismatched* program — one rank calling Barrier where another calls
+// CommSplit — reports as a runtime timeout instead of an op-mismatch
+// panic.)
+type fastColl struct {
+	size    int
+	cur     atomic.Pointer[collRound]
+	entries []collEntry // one slot per member, reused across rounds
+	slow    *lockedColl
+}
+
+func newFastColl(size int) *fastColl {
+	fc := &fastColl{size: size, entries: make([]collEntry, size), slow: newLockedColl(size)}
+	fc.cur.Store(newCollRound())
+	return fc
+}
+
+func (fc *fastColl) arrive(commRank int, op Op, clock, shadow float64, contrib any,
+	finish func(maxClock float64, contribs []any) (completion float64, shared any)) (float64, float64, any) {
+	return fc.slow.arrive(commRank, op, clock, shadow, contrib, finish)
+}
+
+func (fc *fastColl) arriveFixed(commRank int, op Op, clock, shadow float64, contrib int,
+	m *netmodel.Model, cc collCost) (float64, float64) {
+	rd := fc.cur.Load()
+	enc := int64(op) + 1
+	// Plain load first: after the first arrival the slot is already claimed,
+	// so the common path is a read rather than a failed compare-and-swap.
+	if got := rd.op.Load(); got != enc {
+		if got == 0 {
+			if !rd.op.CompareAndSwap(0, enc) {
+				got = rd.op.Load()
+			}
+		}
+		if got != 0 && got != enc {
+			panic(fmt.Sprintf("mpi: collective mismatch: rank %d called %v while round started with %v",
+				commRank, op, Op(got-1)))
+		}
+	}
+	e := &fc.entries[commRank]
+	e.clock = clock
+	e.shadow = shadow
+	e.contrib = contrib
+	if int(rd.arrived.Add(1)) == fc.size {
+		// Last arriver: every other member's entry stores precede its counter
+		// increment, and this Add happens-after all of them, so the buffer is
+		// complete. Max over floats and ints is order-independent, so the
+		// reduction — and every virtual clock derived from it — is bit-
+		// identical to the reference rendezvous. The shadow timeline
+		// completes at the same collective cost applied to the shadow front.
+		maxClock, maxShadow, maxC := fc.entries[0].clock, fc.entries[0].shadow, fc.entries[0].contrib
+		for i := 1; i < fc.size; i++ {
+			e := &fc.entries[i]
+			if e.clock > maxClock {
+				maxClock = e.clock
+			}
+			if e.shadow > maxShadow {
+				maxShadow = e.shadow
+			}
+			if e.contrib > maxC {
+				maxC = e.contrib
+			}
+		}
+		rd.completion = maxClock + evalCollCost(m, cc, maxC)
+		rd.shadowCompletion = maxShadow + (rd.completion - maxClock)
+		// Publish the next round before releasing the waiters — whether they
+		// leave through sealed or done — so any member proceeding to the
+		// communicator's next collective joins fresh state.
+		fc.cur.Store(newCollRound())
+		rd.sealed.Store(true)
+		close(rd.done)
+		return rd.completion, rd.shadowCompletion
+	}
+	// Adaptive wait: yield the processor a few times before parking. When
+	// the remaining members are already runnable and close to their arrival
+	// (the common case for back-to-back collective rounds), one scheduler
+	// rotation completes the round and the park/unpark transition — with its
+	// status flips, run-queue locks and timer checks — never happens. A
+	// genuinely staggered round falls through to the channel after a bounded
+	// number of yields, so blocked programs still park and the runtime's
+	// deadlock timeout still fires.
+	for i := 0; i < collSpinYields; i++ {
+		if rd.sealed.Load() {
+			return rd.completion, rd.shadowCompletion
+		}
+		runtime.Gosched()
+	}
+	<-rd.done
+	return rd.completion, rd.shadowCompletion
+}
+
+// collSpinYields bounds the cooperative yields a waiter spends before
+// parking on the round's channel.
+const collSpinYields = 2

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"repro/internal/netmodel"
 )
 
 // Comm is a communicator: an ordered subset of world ranks with its own
@@ -13,8 +15,12 @@ type Comm struct {
 	world *World
 	id    int
 	group []int       // comm rank -> world rank
-	index map[int]int // world rank -> comm rank
-	sync  *collSync
+	index map[int]int // world rank -> comm rank (nil when identity)
+	// identity is true when comm rank i is world rank i for every member
+	// (always the case for the world communicator), letting rank
+	// translation skip the index map entirely.
+	identity bool
+	sync     collSync
 }
 
 // ID returns the communicator's unique identifier within its world.
@@ -38,41 +44,86 @@ func (c *Comm) WorldRank(commRank int) int {
 // CommRank translates a world rank into this communicator's numbering.
 // The boolean reports membership.
 func (c *Comm) CommRank(worldRank int) (int, bool) {
+	if c.identity {
+		if worldRank >= 0 && worldRank < len(c.group) {
+			return worldRank, true
+		}
+		return 0, false
+	}
 	r, ok := c.index[worldRank]
 	return r, ok
 }
 
 // Contains reports whether the world rank belongs to the communicator.
 func (c *Comm) Contains(worldRank int) bool {
-	_, ok := c.index[worldRank]
+	_, ok := c.CommRank(worldRank)
 	return ok
 }
 
 func newComm(w *World, id int, group []int) *Comm {
-	c := &Comm{world: w, id: id, group: append([]int(nil), group...), index: make(map[int]int, len(group))}
-	for i, wr := range group {
-		c.index[wr] = i
+	c := &Comm{world: w, id: id, group: append([]int(nil), group...)}
+	c.identity = true
+	for i, wr := range c.group {
+		if wr != i {
+			c.identity = false
+			break
+		}
 	}
-	c.sync = newCollSync(len(group))
+	if !c.identity {
+		c.index = make(map[int]int, len(c.group))
+		for i, wr := range c.group {
+			c.index[wr] = i
+		}
+	}
+	if w != nil && w.refColl {
+		c.sync = newLockedColl(len(group))
+	} else {
+		c.sync = newFastColl(len(group))
+	}
 	return c
 }
 
-// collSync implements a reusable rendezvous for collective operations: all
-// members arrive with their virtual clocks and per-rank contributions, the
-// last arriver computes the completion time, and everyone leaves with it.
-// Generation counting matches the i-th collective call on each rank, which
-// is exactly MPI's per-communicator collective ordering.
-type collSync struct {
+// collSync is the rendezvous implementing one collective round: all members
+// arrive with their virtual clocks and per-rank contributions, the last
+// arriver runs finish with the maximum entry clock and the gathered
+// contributions, and everyone leaves with the round's completion time and the
+// shared value finish returned. Generation matching is implicit: the i-th
+// collective call on each rank joins the i-th round, which is exactly MPI's
+// per-communicator collective ordering. Two implementations exist — the
+// atomics-based fastColl (the default) and the mutex+cond lockedColl kept as
+// the differential-testing reference (WithReferenceCollectives).
+type collSync interface {
+	arrive(commRank int, op Op, clock, shadow float64, contrib any,
+		finish func(maxClock float64, contribs []any) (completion float64, shared any)) (float64, float64, any)
+
+	// arriveFixed is the allocation-free round for the ordinary collectives:
+	// the contribution is a non-negative byte count whose per-round reduction
+	// is max, and the cost function is described by the collCost value instead
+	// of a closure, so an arrival heap-allocates nothing. The general arrive
+	// remains for rounds that must gather every contribution (CommSplit) or
+	// share a built value (CommDup).
+	arriveFixed(commRank int, op Op, clock, shadow float64, contrib int,
+		m *netmodel.Model, cc collCost) (completion, shadowCompletion float64)
+}
+
+// lockedColl is the reference collSync: one mutex plus condition variable
+// per communicator. Every arrival serializes on the lock and the last
+// arriver's broadcast wakes all waiters through a mutex-reacquisition storm,
+// which is why it lost to fastColl; it is retained (behind
+// WithReferenceCollectives) because its simplicity makes it the ground truth
+// the differential tests compare virtual clocks against.
+type lockedColl struct {
 	mu   sync.Mutex
 	cond *sync.Cond
 	size int
 
-	gen       uint64
-	arrived   int
-	maxClock  float64
-	maxShadow float64
-	op        Op
-	payload   []any // per-comm-rank contribution (for split/v-collectives)
+	gen        uint64
+	arrived    int
+	maxClock   float64
+	maxShadow  float64
+	op         Op
+	payload    []any // per-comm-rank contribution (general rounds: split/dup)
+	maxPayload int   // running max contribution (fixed-cost rounds)
 
 	// Results of the completed round, readable until the next round ends.
 	completion       float64
@@ -80,8 +131,8 @@ type collSync struct {
 	shared           any
 }
 
-func newCollSync(size int) *collSync {
-	cs := &collSync{size: size, payload: make([]any, size)}
+func newLockedColl(size int) *lockedColl {
+	cs := &lockedColl{size: size, payload: make([]any, size)}
 	cs.cond = sync.NewCond(&cs.mu)
 	return cs
 }
@@ -92,7 +143,7 @@ func newCollSync(size int) *collSync {
 // gathered contributions; finish returns the round's completion time and an
 // arbitrary shared value handed to every member (used by CommSplit/CommDup
 // to distribute the newly created communicators).
-func (cs *collSync) arrive(commRank int, op Op, clock, shadow float64, contrib any,
+func (cs *lockedColl) arrive(commRank int, op Op, clock, shadow float64, contrib any,
 	finish func(maxClock float64, contribs []any) (completion float64, shared any)) (float64, float64, any) {
 	cs.mu.Lock()
 	defer cs.mu.Unlock()
@@ -136,6 +187,52 @@ func (cs *collSync) arrive(commRank int, op Op, clock, shadow float64, contrib a
 		cs.cond.Wait()
 	}
 	return cs.completion, cs.shadowCompletion, cs.shared
+}
+
+// arriveFixed is the reference implementation of the fixed-cost round: the
+// same mutex+cond rendezvous as arrive, folding a running int max instead of
+// gathering a payload slice. Max over non-negative ints is order-independent,
+// so the cost input — and therefore every virtual clock — is bit-identical to
+// the closure-based round it replaces.
+func (cs *lockedColl) arriveFixed(commRank int, op Op, clock, shadow float64, contrib int,
+	m *netmodel.Model, cc collCost) (float64, float64) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+
+	myGen := cs.gen
+	if cs.arrived == 0 {
+		cs.op = op
+		cs.maxClock = clock
+		cs.maxShadow = shadow
+		cs.maxPayload = 0
+	} else if cs.op != op {
+		panic(fmt.Sprintf("mpi: collective mismatch: rank %d called %v while round started with %v", commRank, op, cs.op))
+	} else {
+		if clock > cs.maxClock {
+			cs.maxClock = clock
+		}
+		if shadow > cs.maxShadow {
+			cs.maxShadow = shadow
+		}
+	}
+	if contrib > cs.maxPayload {
+		cs.maxPayload = contrib
+	}
+	cs.arrived++
+
+	if cs.arrived == cs.size {
+		cs.completion = cs.maxClock + evalCollCost(m, cc, cs.maxPayload)
+		cs.shadowCompletion = cs.maxShadow + (cs.completion - cs.maxClock)
+		cs.shared = nil
+		cs.gen++
+		cs.arrived = 0
+		cs.cond.Broadcast()
+		return cs.completion, cs.shadowCompletion
+	}
+	for cs.gen == myGen {
+		cs.cond.Wait()
+	}
+	return cs.completion, cs.shadowCompletion
 }
 
 // splitKey orders members of a split by (key, worldRank), per MPI_Comm_split.

@@ -12,7 +12,6 @@ type message struct {
 	src, dst int
 	tag      int
 	size     int
-	seq      uint64  // per-(src,dst) injection order, for non-overtaking
 	arrival  float64 // virtual time the payload is available at dst
 	// shadowArrival is the arrival on the stall-free shadow timeline used
 	// to measure offered load for the burst-throttle model.
@@ -28,6 +27,11 @@ type postedRecv struct {
 	postTime float64
 	order    uint64   // mailbox-wide post order, for earliest-acceptor ties
 	msg      *message // non-nil once matched
+	// fastMatched records that post consumed an already-queued message, so
+	// the receive was never enqueued and its completion can skip the
+	// mailbox lock entirely. Written under the mailbox lock by the posting
+	// rank and read only by that rank afterwards.
+	fastMatched bool
 }
 
 func (p *postedRecv) accepts(m *message) bool {
@@ -43,9 +47,10 @@ func (p *postedRecv) accepts(m *message) bool {
 	return true
 }
 
-// msgQueue is a FIFO of unexpected messages from one source, ordered by
-// sequence number (deposits from one source arrive in injection order
-// because inject runs on the sender's goroutine). Consumed entries are
+// msgQueue is a FIFO of unexpected messages from one source, in injection
+// order (deposits from one source arrive in injection order because inject
+// runs on the sender's goroutine, so queue position encodes the MPI
+// non-overtaking order with no explicit sequence numbers). Consumed entries are
 // tombstoned in place and reclaimed by periodic compaction, so the common
 // head-of-queue match stays O(1).
 type msgQueue struct {
@@ -162,37 +167,75 @@ func (q *recvQueue) maybeCompact() {
 	q.head, q.dead = 0, 0
 }
 
-// mailbox is the per-rank transport endpoint: unexpected-message queues
-// indexed by source rank, posted-receive queues indexed by source selector,
-// and flow-control accounting, all guarded by one mutex. Senders deposit
-// without blocking; receivers match and complete. The indexes preserve the
-// scan semantics of a single FIFO: matching takes the lowest sequence
-// number per source, AnySource picks the candidate with the earliest
-// virtual arrival (source rank breaking ties), and a deposit attaches to
-// the earliest posted acceptor.
-type mailbox struct {
-	mu   sync.Mutex
-	cond *sync.Cond
-
-	unexSrc map[int]*msgQueue // src -> deposited, not yet matched (seq order)
-
-	postedBySrc map[int]*recvQueue // concrete-source receives, post order
-	postedAny   *recvQueue         // AnySource receives, post order
-	postCount   uint64             // post-order stamp generator
-
-	inflight  map[int]int // src -> deposited-but-not-drained count
-	lastDrain float64     // receiver clock at the most recent drain
+// srcSlot gathers one source rank's mailbox state — its unexpected-message
+// queue, its concrete-source posted receives, and its flow-control count —
+// so a deposit touches a single struct (usually one cache line) instead of
+// three parallel structures. Slots are allocated on a source's first
+// message or posted receive (see mailbox.slot).
+type srcSlot struct {
+	unex     msgQueue  // deposited, not yet matched (injection order)
+	posted   recvQueue // concrete-source receives, post order
+	inflight int       // deposited-but-not-drained count
 }
 
-func newMailbox() *mailbox {
-	mb := &mailbox{
-		unexSrc:     make(map[int]*msgQueue),
-		postedBySrc: make(map[int]*recvQueue),
-		postedAny:   &recvQueue{},
-		inflight:    make(map[int]int),
+// mailbox is the per-rank transport endpoint: per-source state indexed by
+// world rank, an AnySource receive queue, and flow-control accounting, all
+// guarded by one mutex. Senders deposit without blocking; receivers match
+// and complete. The indexes preserve the scan semantics of a single FIFO:
+// matching takes the oldest unexpected message per source, AnySource picks
+// the candidate with the earliest virtual arrival (source rank breaking
+// ties), and a deposit attaches to the earliest posted acceptor.
+//
+// The per-source index is an int32 slice (0 = no state yet, else slot
+// position + 1) into a compact slice of srcSlots that grows with the
+// sources actually seen. A rank typically communicates with a handful of
+// peers, so the dense structures stay tiny, and the world-rank-sized index
+// is pointer-free: the garbage collector never scans it, unlike a
+// world-sized slice of queue pointers.
+type mailbox struct {
+	mu   sync.Mutex
+	cond sync.Cond
+
+	srcIdx   []int32   // indexed by source world rank; 0 = none, else 1+slot
+	slots    []srcSlot // per-source state for sources seen so far
+	unexLive int       // live (unmatched) unexpected messages across all sources
+
+	postedAny recvQueue // AnySource receives, post order
+	postCount uint64    // post-order stamp generator
+
+	lastDrain float64 // receiver clock at the most recent drain
+}
+
+// initMailbox prepares a zero mailbox in place, with srcIdx as its
+// per-source index. The world carves every mailbox and every srcIdx slice
+// out of two world-sized backing arrays, so n ranks cost two transport
+// allocations rather than 3n.
+func (mb *mailbox) initMailbox(srcIdx []int32) {
+	mb.srcIdx = srcIdx
+	mb.cond.L = &mb.mu
+}
+
+// slot returns the per-source state for src, allocating it on first use.
+// The mailbox lock must be held. The returned pointer is invalidated by the
+// next slot call (growth may move the slice), so callers must not retain it
+// across allocations.
+func (mb *mailbox) slot(src int) *srcSlot {
+	i := mb.srcIdx[src]
+	if i == 0 {
+		mb.slots = append(mb.slots, srcSlot{})
+		i = int32(len(mb.slots))
+		mb.srcIdx[src] = i
 	}
-	mb.cond = sync.NewCond(&mb.mu)
-	return mb
+	return &mb.slots[i-1]
+}
+
+// lookup returns the per-source state for src, or nil if the source has no
+// state yet. The mailbox lock must be held.
+func (mb *mailbox) lookup(src int) *srcSlot {
+	if i := mb.srcIdx[src]; i != 0 {
+		return &mb.slots[i-1]
+	}
+	return nil
 }
 
 // deposit delivers a message. If a compatible posted receive exists the
@@ -200,73 +243,77 @@ func newMailbox() *mailbox {
 // unexpected queue. deposit never blocks (eager/buffered semantics).
 func (mb *mailbox) deposit(m *message) {
 	mb.mu.Lock()
-	defer mb.mu.Unlock()
-	mb.inflight[m.src]++
+	s := mb.slot(m.src)
+	s.inflight++
 	// Earliest acceptor across the source's queue and the AnySource queue.
-	var best *postedRecv
-	if q := mb.postedBySrc[m.src]; q != nil {
-		best = q.firstAcceptor(m)
-	}
-	if p := mb.postedAny.firstAcceptor(m); p != nil && (best == nil || p.order < best.order) {
+	best := s.posted.firstAcceptor(m)
+	if p := (&mb.postedAny).firstAcceptor(m); p != nil && (best == nil || p.order < best.order) {
 		best = p
 	}
 	if best != nil {
 		best.msg = m
 		m.matched = true
 		mb.cond.Broadcast()
+		mb.mu.Unlock()
 		return
 	}
-	q := mb.unexSrc[m.src]
-	if q == nil {
-		q = &msgQueue{}
-		mb.unexSrc[m.src] = q
-	}
-	q.push(m)
+	s.unex.push(m)
+	mb.unexLive++
 	mb.cond.Broadcast()
+	mb.mu.Unlock()
 }
 
-// post registers a receive and attempts to match it immediately against the
-// unexpected queue. Matching takes, among compatible messages, the lowest
-// sequence number per source; for AnySource the earliest virtual arrival
-// wins, with source rank breaking ties deterministically.
-func (mb *mailbox) post(src, tag int, now float64) *postedRecv {
+// post registers the receive p (allocated by the calling rank) and attempts
+// to match it immediately against the unexpected queue. Matching takes,
+// among compatible messages, the lowest sequence number per source; for
+// AnySource the earliest virtual arrival wins, with source rank breaking
+// ties deterministically. It reports whether p was matched on the spot — in
+// that case p was never enqueued and the receive needs no further mailbox
+// interaction.
+func (mb *mailbox) post(p *postedRecv) (matched bool) {
 	mb.mu.Lock()
-	defer mb.mu.Unlock()
-	p := &postedRecv{src: src, tag: tag, postTime: now, order: mb.postCount}
+	p.order = mb.postCount
 	mb.postCount++
 	if m := mb.takeUnexpected(p); m != nil {
 		p.msg = m
-	} else if src == AnySource {
+		p.fastMatched = true
+		mb.mu.Unlock()
+		return true
+	}
+	if p.src == AnySource {
 		mb.postedAny.push(p)
 	} else {
-		q := mb.postedBySrc[src]
-		if q == nil {
-			q = &recvQueue{}
-			mb.postedBySrc[src] = q
-		}
-		q.push(p)
+		mb.slot(p.src).posted.push(p)
 	}
-	return p
+	mb.mu.Unlock()
+	return false
 }
 
 // takeUnexpected removes and returns the best unexpected match for p, or nil.
 func (mb *mailbox) takeUnexpected(p *postedRecv) *message {
+	if mb.unexLive == 0 {
+		return nil
+	}
 	if p.src != AnySource {
-		q := mb.unexSrc[p.src]
-		if q == nil {
+		s := mb.lookup(p.src)
+		if s == nil {
 			return nil
 		}
+		q := &s.unex
 		i := q.firstMatch(p.tag)
 		if i < 0 {
 			return nil
 		}
+		mb.unexLive--
 		return q.take(i)
 	}
-	// AnySource: the per-source candidate is each queue's lowest-sequence
-	// tag match; the earliest virtual arrival wins, source breaking ties.
+	// AnySource: the per-source candidate is each queue's oldest tag match;
+	// the earliest virtual arrival wins, source rank breaking ties, so the
+	// outcome does not depend on slot order.
 	var bestQ *msgQueue
 	bestIdx := -1
-	for _, q := range mb.unexSrc {
+	for si := range mb.slots {
+		q := &mb.slots[si].unex
 		i := q.firstMatch(p.tag)
 		if i < 0 {
 			continue
@@ -284,22 +331,33 @@ func (mb *mailbox) takeUnexpected(p *postedRecv) *message {
 	if bestIdx == -1 {
 		return nil
 	}
+	mb.unexLive--
 	return bestQ.take(bestIdx)
 }
 
 // awaitMatch blocks until p has been matched by a depositor. The matched
 // entry stays tombstoned in its posted queue (p.msg != nil makes every scan
-// skip it) until compaction reclaims it.
+// skip it) until compaction reclaims it. Unlike the collective rendezvous,
+// the receiver parks immediately: a point-to-point match depends on one
+// specific sender rather than the whole communicator, so the deposit rarely
+// lands within a scheduler rotation and speculative yields only add lock
+// round-trips.
 func (mb *mailbox) awaitMatch(p *postedRecv) {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
 	for p.msg == nil {
 		mb.cond.Wait()
 	}
+	mb.noteConsumedLocked(p)
+}
+
+// noteConsumedLocked accounts for p's tombstone in its posted queue; the
+// mailbox lock must be held.
+func (mb *mailbox) noteConsumedLocked(p *postedRecv) {
 	if p.src == AnySource {
 		mb.postedAny.noteConsumed(p)
-	} else if q := mb.postedBySrc[p.src]; q != nil {
-		q.noteConsumed(p)
+	} else if s := mb.lookup(p.src); s != nil {
+		s.posted.noteConsumed(p)
 	}
 }
 
@@ -321,7 +379,7 @@ func (mb *mailbox) drain(m *message, now float64) {
 	defer mb.mu.Unlock()
 	if !m.drained {
 		m.drained = true
-		mb.inflight[m.src]--
+		mb.slot(m.src).inflight--
 		if now > mb.lastDrain {
 			mb.lastDrain = now
 		}
@@ -340,7 +398,7 @@ func (mb *mailbox) awaitCredit(msg *message, window int, senderClock float64) (r
 	}
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
-	for !msg.drained && mb.inflight[msg.src] > window {
+	for !msg.drained && mb.slot(msg.src).inflight > window {
 		stalled = true
 		mb.cond.Wait()
 	}
@@ -355,5 +413,8 @@ func (mb *mailbox) awaitCredit(msg *message, window int, senderClock float64) (r
 func (mb *mailbox) pendingFrom(src int) int {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
-	return mb.inflight[src]
+	if s := mb.lookup(src); s != nil {
+		return s.inflight
+	}
+	return 0
 }

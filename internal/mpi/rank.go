@@ -13,8 +13,16 @@ type Rank struct {
 	clock     float64 // virtual microseconds
 	lastOpEnd float64
 	tracer    Tracer
-	seq       map[int]uint64 // per-destination send sequence numbers
 	finalized bool
+
+	// Allocation arenas: messages, posted receives and requests are carved
+	// from per-rank chunks so the point-to-point hot path allocates once per
+	// arenaChunk operations instead of once per operation. Entries are never
+	// recycled (their lifetimes escape through mailboxes and user-held
+	// requests); the arenas only batch the allocations.
+	msgArena  []message
+	recvArena []postedRecv
+	reqArena  []Request
 
 	// shadow is a parallel clock that advances exactly like clock except
 	// that congestion stalls (burst throttling, flow-control resume) never
@@ -33,13 +41,48 @@ type Rank struct {
 	// vs solver pipelines are separate streams), matching per-path flow
 	// control; size rather than tag identifies the stream so that
 	// generated benchmarks — whose target language has no tags — see the
-	// same flows as the original application.
+	// same flows as the original application. Built lazily on the first
+	// bulk injection; runs without bulk traffic never allocate it.
 	lastInject map[flowKey]float64
 }
 
 // flowKey identifies one sender-side message stream.
 type flowKey struct {
 	dst, size int
+}
+
+// arenaChunk is the number of transport objects allocated per arena refill.
+// Sized so short runs don't strand most of a chunk: a rank that performs R
+// receives touches R posted receives and R messages, and chunks half the
+// size of the request chunk's working set keep the stranded tail small
+// while still amortizing the allocator call across 64 operations.
+const arenaChunk = 64
+
+func (r *Rank) newMessage() *message {
+	if len(r.msgArena) == 0 {
+		r.msgArena = make([]message, arenaChunk)
+	}
+	m := &r.msgArena[0]
+	r.msgArena = r.msgArena[1:]
+	return m
+}
+
+func (r *Rank) newPostedRecv() *postedRecv {
+	if len(r.recvArena) == 0 {
+		r.recvArena = make([]postedRecv, arenaChunk)
+	}
+	p := &r.recvArena[0]
+	r.recvArena = r.recvArena[1:]
+	return p
+}
+
+func (r *Rank) newRequest() *Request {
+	if len(r.reqArena) == 0 {
+		r.reqArena = make([]Request, arenaChunk)
+	}
+	q := &r.reqArena[0]
+	r.reqArena = r.reqArena[1:]
+	return q
 }
 
 // Rank returns the world rank of this process.
@@ -78,19 +121,32 @@ type Status struct {
 	Size int
 }
 
-// Request represents an outstanding nonblocking operation.
+// Request represents an outstanding nonblocking operation. It stores no
+// Status of its own: the status is derived from the underlying message on
+// demand, which keeps the struct — allocated once per nonblocking call —
+// at its pointer fields.
 type Request struct {
-	op     Op
-	comm   *Comm
-	msg    *message    // send side
-	pr     *postedRecv // recv side
-	dst    *mailbox    // send side: receiver's mailbox, for flow control
-	done   bool
-	status Status
+	op   Op
+	comm *Comm
+	msg  *message    // send side
+	pr   *postedRecv // recv side
+	dst  *mailbox    // send side: receiver's mailbox, for flow control
+	done bool
 }
 
 // Done reports whether the request has been completed by a Wait.
 func (q *Request) Done() bool { return q.done }
+
+// Status returns the outcome of a completed request (zero until Done).
+func (q *Request) Status() Status {
+	if !q.done {
+		return Status{}
+	}
+	if q.op == OpIsend {
+		return Status{Tag: q.msg.tag, Size: q.msg.size}
+	}
+	return statusOf(q.comm, q.pr.msg)
+}
 
 // entryState snapshots the rank at the start of an MPI call.
 type entryState struct {
@@ -107,17 +163,26 @@ func (r *Rank) enter() entryState {
 	return st
 }
 
+// record finishes an MPI call. ev points at a caller stack local that never
+// escapes through here, so untraced runs — benchmarks, replays,
+// generated-spec executions — allocate nothing per operation; only when a
+// tracer is attached is a heap copy made (and the caller's Counts slice,
+// passed by reference, deep-copied for retention).
 func (r *Rank) record(st entryState, ev *Event) {
 	r.lastOpEnd = r.clock
 	if r.tracer == nil {
 		return
 	}
-	ev.Rank = r.rank
-	ev.CallSite = st.site
-	ev.ComputeUS = st.compute
-	ev.StartUS = st.start
-	ev.EndUS = r.clock
-	r.tracer.Record(ev)
+	heap := *ev
+	heap.Rank = r.rank
+	heap.CallSite = st.site
+	heap.ComputeUS = st.compute
+	heap.StartUS = st.start
+	heap.EndUS = r.clock
+	if heap.Counts != nil {
+		heap.Counts = append([]int(nil), heap.Counts...)
+	}
+	r.tracer.Record(&heap)
 }
 
 func (r *Rank) checkActive() {
@@ -136,16 +201,15 @@ func (r *Rank) inject(wdst, tag, size int) *message {
 	r.shadow += m.SendOverheadUS
 	transfer := m.TransferUS(size)
 	transfer += m.NoiseUS(transfer, r.rank, r.opCount, 2)
-	msg := &message{
+	msg := r.newMessage()
+	*msg = message{
 		src:           r.rank,
 		dst:           wdst,
 		tag:           tag,
 		size:          size,
-		seq:           r.seq[wdst],
 		arrival:       r.clock + transfer,
 		shadowArrival: r.shadow + transfer,
 	}
-	r.seq[wdst]++
 	r.w.mailboxes[wdst].deposit(msg)
 	if m.FlowSaturationFactor > 0 && size > m.EagerLimit {
 		// Burst throttling: offering bulk messages to one peer faster than
@@ -159,9 +223,20 @@ func (r *Rank) inject(wdst, tag, size int) *message {
 		if last, seen := r.lastInject[key]; seen {
 			r.clock += m.BurstStallUS(size, r.shadow-last)
 		}
+		if r.lastInject == nil {
+			r.lastInject = make(map[flowKey]float64)
+		}
 		r.lastInject[key] = r.shadow
 	}
 	return msg
+}
+
+// postRecv builds a posted receive for this rank's current virtual time.
+// The mailbox stamps the post order under its lock.
+func (r *Rank) postRecv(wsrc, tag int) *postedRecv {
+	p := r.newPostedRecv()
+	*p = postedRecv{src: wsrc, tag: tag, postTime: r.clock}
+	return p
 }
 
 // stallForCredit models MPI flow control: the sender blocks until the
@@ -194,7 +269,7 @@ func (r *Rank) completeRecv(p *postedRecv) {
 	r.w.mailboxes[r.rank].drain(msg, r.clock)
 }
 
-func (r *Rank) statusOf(c *Comm, msg *message) Status {
+func statusOf(c *Comm, msg *message) Status {
 	src, ok := c.CommRank(msg.src)
 	if !ok {
 		src = -1 // sender outside this communicator (app error, but don't panic)
@@ -223,7 +298,8 @@ func (r *Rank) Isend(c *Comm, dst, tag, size int) *Request {
 	st := r.enter()
 	wdst := c.WorldRank(dst)
 	msg := r.inject(wdst, tag, size)
-	req := &Request{op: OpIsend, comm: c, msg: msg, dst: r.w.mailboxes[wdst]}
+	req := r.newRequest()
+	*req = Request{op: OpIsend, comm: c, msg: msg, dst: r.w.mailboxes[wdst]}
 	r.record(st, &Event{Op: OpIsend, CommID: c.id, CommSize: c.Size(),
 		Peer: dst, PeerWorld: wdst, Tag: tag, Size: size, Root: -1})
 	return req
@@ -242,10 +318,15 @@ func (r *Rank) Recv(c *Comm, src, tag, size int) Status {
 		wsrc = c.WorldRank(src)
 	}
 	mb := r.w.mailboxes[r.rank]
-	p := mb.post(wsrc, tag, r.clock)
-	mb.awaitMatch(p)
+	p := r.postRecv(wsrc, tag)
+	// Fast path: the message was already queued and post consumed it, so
+	// the receive never entered a posted queue and there is nothing to wait
+	// for or tombstone — skip the second lock acquisition entirely.
+	if !mb.post(p) {
+		mb.awaitMatch(p)
+	}
 	r.completeRecv(p)
-	status := r.statusOf(c, p.msg)
+	status := statusOf(c, p.msg)
 	r.record(st, &Event{Op: OpRecv, CommID: c.id, CommSize: c.Size(),
 		Peer: src, PeerWorld: p.msg.src, SourceWasWildcard: src == AnySource,
 		Tag: tag, Size: size, Root: -1})
@@ -261,8 +342,10 @@ func (r *Rank) Irecv(c *Comm, src, tag, size int) *Request {
 	if src != AnySource {
 		wsrc = c.WorldRank(src)
 	}
-	p := r.w.mailboxes[r.rank].post(wsrc, tag, r.clock)
-	req := &Request{op: OpIrecv, comm: c, pr: p}
+	p := r.postRecv(wsrc, tag)
+	r.w.mailboxes[r.rank].post(p)
+	req := r.newRequest()
+	*req = Request{op: OpIrecv, comm: c, pr: p}
 	// The traced event keeps the wildcard unresolved (Peer/PeerWorld filled
 	// at Wait time for the PeerWorld side).
 	r.record(st, &Event{Op: OpIrecv, CommID: c.id, CommSize: c.Size(),
@@ -273,58 +356,59 @@ func (r *Rank) Irecv(c *Comm, src, tag, size int) *Request {
 
 // wait completes a single request without emitting a trace event; Wait and
 // Waitall wrap it.
-func (r *Rank) wait(q *Request) Status {
+func (r *Rank) wait(q *Request) {
 	if q.done {
-		return q.status
+		return
 	}
 	switch q.op {
 	case OpIsend:
 		r.stallForCredit(q.dst, q.msg)
-		q.status = Status{Tag: q.msg.tag, Size: q.msg.size}
 	case OpIrecv:
-		r.w.mailboxes[r.rank].awaitMatch(q.pr)
+		// A receive matched at post time never entered a posted queue;
+		// its message is already attached and needs no mailbox round trip.
+		if !q.pr.fastMatched {
+			r.w.mailboxes[r.rank].awaitMatch(q.pr)
+		}
 		r.completeRecv(q.pr)
-		q.status = r.statusOf(q.comm, q.pr.msg)
 	default:
 		panic(fmt.Sprintf("mpi: wait on non-request op %v", q.op))
 	}
 	q.done = true
-	return q.status
 }
 
 // Wait blocks until the nonblocking request completes.
 func (r *Rank) Wait(q *Request) Status {
 	r.checkActive()
 	st := r.enter()
-	s := r.wait(q)
+	r.wait(q)
 	r.record(st, &Event{Op: OpWait, CommID: q.comm.id, CommSize: q.comm.Size(),
 		Peer: NoPeer, PeerWorld: NoPeer, Size: 1, Root: -1})
-	return s
+	return q.Status()
 }
 
 // Waitall completes all given requests. Receive requests are drained first
 // so that flow-control credits are returned before send stalls are served;
 // this mirrors an MPI progress engine and avoids artificial deadlock between
-// mutually stalled senders.
-func (r *Rank) Waitall(reqs ...*Request) []Status {
+// mutually stalled senders. Each request's status remains readable through
+// Request.Status after completion; Waitall itself returns nothing so that the
+// hot path allocates no status slice.
+func (r *Rank) Waitall(reqs ...*Request) {
 	r.checkActive()
 	st := r.enter()
-	statuses := make([]Status, len(reqs))
 	commID, commSize := 0, r.w.n
-	for i, q := range reqs {
+	for _, q := range reqs {
 		if q.op == OpIrecv {
-			statuses[i] = r.wait(q)
+			r.wait(q)
 		}
 		commID, commSize = q.comm.id, q.comm.Size()
 	}
-	for i, q := range reqs {
+	for _, q := range reqs {
 		if q.op != OpIrecv {
-			statuses[i] = r.wait(q)
+			r.wait(q)
 		}
 	}
 	r.record(st, &Event{Op: OpWaitall, CommID: commID, CommSize: commSize,
 		Peer: NoPeer, PeerWorld: NoPeer, Size: len(reqs), Root: -1})
-	return statuses
 }
 
 // Sendrecv performs a combined send and receive (as MPI_Sendrecv), which is
@@ -332,6 +416,6 @@ func (r *Rank) Waitall(reqs ...*Request) []Status {
 func (r *Rank) Sendrecv(c *Comm, dst, sendTag, sendSize, src, recvTag, recvSize int) Status {
 	sreq := r.Isend(c, dst, sendTag, sendSize)
 	rreq := r.Irecv(c, src, recvTag, recvSize)
-	statuses := r.Waitall(rreq, sreq)
-	return statuses[0]
+	r.Waitall(rreq, sreq)
+	return rreq.Status()
 }

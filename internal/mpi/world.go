@@ -17,6 +17,9 @@ type World struct {
 	mailboxes  []*mailbox
 	commWorld  *Comm
 	nextCommID int64
+	// refColl selects the reference mutex+cond collective rendezvous for
+	// every communicator (WithReferenceCollectives).
+	refColl bool
 }
 
 // Result reports the outcome of a completed run.
@@ -30,6 +33,7 @@ type Result struct {
 type config struct {
 	tracerFor func(rank int) Tracer
 	timeout   time.Duration
+	refColl   bool
 }
 
 // Option configures a Run.
@@ -44,6 +48,14 @@ func WithTracer(f func(rank int) Tracer) Option {
 // exceeds it is reported as a suspected deadlock. The default is 60 seconds.
 func WithTimeout(d time.Duration) Option {
 	return func(c *config) { c.timeout = d }
+}
+
+// WithReferenceCollectives runs every communicator's collectives through the
+// original mutex+cond rendezvous instead of the atomic combining barrier.
+// Virtual-time results are bit-identical either way; the reference path
+// exists so differential tests can prove exactly that.
+func WithReferenceCollectives() Option {
+	return func(c *config) { c.refColl = true }
 }
 
 // Run executes body on n simulated ranks over the given network model and
@@ -63,9 +75,16 @@ func Run(n int, model *netmodel.Model, body func(*Rank), opts ...Option) (*Resul
 		o(&cfg)
 	}
 
-	w := &World{n: n, model: model, mailboxes: make([]*mailbox, n)}
+	// World-sized state is carved from a handful of backing arrays rather
+	// than allocated per rank: the mailboxes, their per-source indexes and
+	// the rank structs each cost one allocation for the whole world, and
+	// the index slab holds no pointers for the garbage collector to scan.
+	w := &World{n: n, model: model, mailboxes: make([]*mailbox, n), refColl: cfg.refColl}
+	mbs := make([]mailbox, n)
+	srcIdx := make([]int32, n*n)
 	for i := range w.mailboxes {
-		w.mailboxes[i] = newMailbox()
+		mbs[i].initMailbox(srcIdx[i*n : (i+1)*n : (i+1)*n])
+		w.mailboxes[i] = &mbs[i]
 	}
 	group := make([]int, n)
 	for i := range group {
@@ -73,12 +92,13 @@ func Run(n int, model *netmodel.Model, body func(*Rank), opts ...Option) (*Resul
 	}
 	w.commWorld = newComm(w, 0, group)
 
-	ranks := make([]*Rank, n)
+	ranks := make([]Rank, n)
 	for i := range ranks {
-		ranks[i] = &Rank{w: w, rank: i, seq: make(map[int]uint64),
-			lastInject: make(map[flowKey]float64)}
+		r := &ranks[i]
+		r.w = w
+		r.rank = i
 		if cfg.tracerFor != nil {
-			ranks[i].tracer = cfg.tracerFor(i)
+			r.tracer = cfg.tracerFor(i)
 		}
 	}
 
@@ -87,7 +107,7 @@ func Run(n int, model *netmodel.Model, body func(*Rank), opts ...Option) (*Resul
 		panicMu  sync.Mutex
 		panicked []error
 	)
-	for _, r := range ranks {
+	for i := range ranks {
 		wg.Add(1)
 		go func(r *Rank) {
 			defer wg.Done()
@@ -103,7 +123,7 @@ func Run(n int, model *netmodel.Model, body func(*Rank), opts ...Option) (*Resul
 				Peer: NoPeer, PeerWorld: NoPeer, Root: -1})
 			body(r)
 			r.Finalize()
-		}(r)
+		}(&ranks[i])
 	}
 
 	done := make(chan struct{})
@@ -130,10 +150,10 @@ func Run(n int, model *netmodel.Model, body func(*Rank), opts ...Option) (*Resul
 	}
 
 	res := &Result{PerRankUS: make([]float64, n)}
-	for i, r := range ranks {
-		res.PerRankUS[i] = r.clock
-		if r.clock > res.ElapsedUS {
-			res.ElapsedUS = r.clock
+	for i := range ranks {
+		res.PerRankUS[i] = ranks[i].clock
+		if ranks[i].clock > res.ElapsedUS {
+			res.ElapsedUS = ranks[i].clock
 		}
 	}
 	return res, nil

@@ -21,8 +21,16 @@ func Replay(t *trace.Trace, model *netmodel.Model, opts ...mpi.Option) (*mpi.Res
 	if t.N <= 0 {
 		return nil, fmt.Errorf("replay: trace has no ranks")
 	}
+	// The communicator table's final size is known up front (world plus every
+	// traced communicator), and a handful of outstanding requests is the norm
+	// for traced codes; pre-sizing both keeps the replay loop allocation-free.
+	nComms := 1 + len(t.Comms)
 	body := func(r *mpi.Rank) {
-		rp := &replayer{t: t, rank: r, comms: map[int]*mpi.Comm{0: r.World()}}
+		rp := &replayer{t: t, rank: r,
+			comms:       make(map[int]*mpi.Comm, nComms),
+			outstanding: make([]*mpi.Request, 0, 16),
+		}
+		rp.comms[0] = r.World()
 		g := t.GroupOf(r.Rank())
 		if g == nil {
 			return
