@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: test check bench bench-all race
+.PHONY: test check bench bench-all race timeline
 
 test:
 	$(GO) test ./...
@@ -8,25 +8,34 @@ test:
 # check is the pre-commit gate: static analysis plus the race detector over
 # the concurrent subsystems — the parallel trace pipeline, the simulated MPI
 # transport (including the atomic combining barrier), the compiled
-# coNCePTuaL interpreter and the harness worker pool.
+# coNCePTuaL interpreter, the harness worker pool and the telemetry registry.
 check:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/trace/... ./internal/mpi/... ./internal/conceptual/... ./internal/harness/...
+	$(GO) test -race ./internal/trace/... ./internal/mpi/... ./internal/conceptual/... ./internal/harness/... ./internal/telemetry/...
 
 race:
 	$(GO) test -race ./...
 
-# bench refreshes the BENCH_2.json baseline: it runs the runtime-substrate
-# benchmarks (simulated world execution, interpreter, replay) and merges the
-# measured numbers into the post_change section, preserving the recorded
-# pre-change history. Benchmark output also streams to the terminal.
+# bench refreshes the BENCH_3.json baseline: it runs the runtime-substrate
+# benchmarks (simulated world execution — including the telemetry-enabled
+# variant whose distance from the fast path is the recorded instrumentation
+# overhead — interpreter, replay) and merges the measured numbers into the
+# post_change section, preserving any recorded pre-change history. Benchmark
+# output also streams to the terminal.
 bench:
 	$(GO) test -run NONE -bench 'BenchmarkRunWorld|BenchmarkInterpExecute|BenchmarkReplay' \
 		-benchtime 60x -benchmem . | tee /dev/stderr | \
-		$(GO) run ./cmd/benchjson -merge BENCH_2.json > BENCH_2.json.tmp
-	mv BENCH_2.json.tmp BENCH_2.json
+		$(GO) run ./cmd/benchjson -merge BENCH_3.json > BENCH_3.json.tmp
+	mv BENCH_3.json.tmp BENCH_3.json
 
 # bench-all runs the full evaluation-reproduction suite without touching the
 # recorded baseline.
 bench-all:
 	$(GO) test -run NONE -bench=. -benchmem .
+
+# timeline produces a ready-to-view virtual-time timeline of a 64-rank ring
+# trace run; load the JSON at https://ui.perfetto.dev (or
+# chrome://tracing) to browse per-rank MPI spans on the simulated clock.
+timeline:
+	$(GO) run ./cmd/tracegen -app ring -n 64 -class S -o /dev/null -timeline timeline.json
+	@echo "wrote timeline.json — open https://ui.perfetto.dev and load it"

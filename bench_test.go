@@ -20,6 +20,7 @@ import (
 	"repro/internal/netmodel"
 	"repro/internal/replay"
 	"repro/internal/taskset"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/wildcard"
 )
@@ -429,10 +430,20 @@ func runWorldBody(n int) func(*mpi.Rank) {
 // every experiment stands on — at 64 and 256 ranks, on the default fast path
 // (atomic combining barrier, indexed mailbox, arenas) and on the reference
 // mutex+cond rendezvous. The fast/reference pairs at equal rank counts are
-// the recorded speedup evidence in BENCH_2.json.
+// the recorded speedup evidence in BENCH_2.json; the telemetry/fast pairs
+// are the enabled-instrumentation overhead evidence in BENCH_3.json.
 func BenchmarkRunWorld(b *testing.B) {
 	for _, n := range []int{64, 256} {
 		b.Run(fmt.Sprintf("fast-%dranks", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := mpi.Run(n, netmodel.BlueGeneL(), runWorldBody(n)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("telemetry-%dranks", n), func(b *testing.B) {
+			telemetry.Enable()
+			defer telemetry.Disable()
 			for i := 0; i < b.N; i++ {
 				if _, err := mpi.Run(n, netmodel.BlueGeneL(), runWorldBody(n)); err != nil {
 					b.Fatal(err)

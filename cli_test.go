@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -60,5 +61,33 @@ func TestCLIPipeline(t *testing.T) {
 	xout := runTool("./cmd/benchgen", "-i", tracePath, "-with", trace16, "-extrapolate", "64")
 	if !strings.Contains(xout, "REQUIRE num_tasks = 64") {
 		t.Fatalf("extrapolated generation unexpected:\n%s", xout)
+	}
+
+	// The telemetry timeline export: tracing with -timeline must write a
+	// valid Chrome trace-event document with one span track per rank.
+	timelinePath := filepath.Join(dir, "timeline.json")
+	runTool("./cmd/tracegen", "-app", "ring", "-n", "8", "-class", "S",
+		"-o", filepath.Join(dir, "ring_tl.trace"), "-timeline", timelinePath)
+	tlData, err := os.ReadFile(timelinePath)
+	if err != nil {
+		t.Fatalf("timeline not written: %v", err)
+	}
+	var tlDoc struct {
+		TraceEvents []struct {
+			Ph  string `json:"ph"`
+			TID int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(tlData, &tlDoc); err != nil {
+		t.Fatalf("timeline is not valid JSON: %v", err)
+	}
+	tlRanks := map[int]bool{}
+	for _, ev := range tlDoc.TraceEvents {
+		if ev.Ph == "X" {
+			tlRanks[ev.TID] = true
+		}
+	}
+	if len(tlRanks) != 8 {
+		t.Fatalf("timeline covers %d ranks, want 8", len(tlRanks))
 	}
 }

@@ -8,6 +8,11 @@
 //
 //	benchgen [-i app.trace] [-o app.ncptl] [-lang conceptual|c]
 //	         [-window n] [-cpuprofile prof.out]
+//	         [-telemetry] [-timeline stages.json] [-serve :8080]
+//
+// benchgen's -timeline exports the generation pipeline's wall-clock stages
+// (wildcard resolution, alignment, code generation) rather than a simulated
+// run's virtual time.
 package main
 
 import (
@@ -20,6 +25,7 @@ import (
 	"repro/internal/conceptual"
 	"repro/internal/core"
 	"repro/internal/extrap"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -33,7 +39,12 @@ func main() {
 		window  = flag.Int("window", 0, "loop-compression window for the alignment/resolution recompression passes (0 = default)")
 		profile = flag.String("cpuprofile", "", "write a CPU profile of the generation pipeline to this file")
 	)
+	tcli := telemetry.NewCLI()
 	flag.Parse()
+	if err := tcli.Start(); err != nil {
+		fatal(err)
+	}
+	tcli.CaptureRegions()
 
 	if *window > 0 {
 		trace.SetDefaultWindow(*window)
@@ -120,6 +131,9 @@ func main() {
 		w = f
 	}
 	if _, err := io.WriteString(w, src); err != nil {
+		fatal(err)
+	}
+	if err := tcli.Finish(); err != nil {
 		fatal(err)
 	}
 }

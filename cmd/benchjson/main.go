@@ -3,14 +3,19 @@
 // B/op and allocs/op columns, and prints a JSON document on stdout. With
 // -merge FILE it starts from an existing baseline instead: the pre_change
 // section, speedup notes and metadata are preserved, the post_change
-// entries for every benchmark seen on stdin are replaced, and the date is
-// refreshed — so `make bench` keeps the recorded history while updating the
-// current numbers.
+// entries for every benchmark seen on stdin are replaced (re-runs are
+// last-write-wins, stdin order deciding ties), and the date is refreshed —
+// so `make bench` keeps the recorded history while updating the current
+// numbers. A missing or empty -merge file is treated as a fresh baseline
+// rather than an error, so the first `make bench` after a baseline-file
+// rename still works.
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -70,11 +75,19 @@ func main() {
 	doc := map[string]json.RawMessage{}
 	if *merge != "" {
 		data, err := os.ReadFile(*merge)
-		if err != nil {
+		switch {
+		case errors.Is(err, os.ErrNotExist):
+			fmt.Fprintf(os.Stderr, "benchjson: %s does not exist; starting a fresh baseline\n", *merge)
+		case err != nil:
 			fatal(err)
-		}
-		if err := json.Unmarshal(data, &doc); err != nil {
-			fatal(fmt.Errorf("%s: %w", *merge, err))
+		case len(bytes.TrimSpace(data)) == 0:
+			fmt.Fprintf(os.Stderr, "benchjson: %s is empty; starting a fresh baseline\n", *merge)
+		default:
+			// An unreadable document is still fatal: silently replacing a
+			// corrupt baseline would destroy the recorded history.
+			if err := json.Unmarshal(data, &doc); err != nil {
+				fatal(fmt.Errorf("%s: %w", *merge, err))
+			}
 		}
 	}
 

@@ -30,6 +30,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/netmodel"
 	"repro/internal/replay"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -43,7 +44,12 @@ func main() {
 		timeout = flag.Duration("timeout", 0,
 			"wall-clock deadline per simulated run (0 uses the runtime default)")
 	)
+	tcli := telemetry.NewCLI()
 	flag.Parse()
+	if err := tcli.Start(); err != nil {
+		fatal(err)
+	}
+	tcli.CaptureRegions()
 
 	harness.SetParallelism(*parallel)
 	harness.SetRunTimeout(*timeout)
@@ -56,6 +62,10 @@ func main() {
 		class = apps.ClassW
 	}
 
+	// A failed experiment — including one whose configuration panicked in a
+	// harness worker — is reported and the remaining experiments still run;
+	// the process exits nonzero at the end if anything failed.
+	var failed []string
 	run := func(name string, f func(apps.Class, bool) error) {
 		if *exp != "all" && *exp != name {
 			return
@@ -63,7 +73,11 @@ func main() {
 		fmt.Printf("==== %s ====\n", name)
 		start := time.Now()
 		if err := f(class, *quick); err != nil {
-			fatal(fmt.Errorf("%s: %w", name, err))
+			failed = append(failed, name)
+			telemetry.Eventf("experiments: %s failed: %v", name, err)
+			fmt.Fprintf(os.Stderr, "experiments: %s FAILED: %v\n", name, err)
+			fmt.Printf("(%s FAILED after %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+			return
 		}
 		fmt.Printf("(%s completed in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
@@ -77,6 +91,15 @@ func main() {
 	run("scaling", scaling)
 	run("extrap", extrapExp)
 	run("overlap", overlapExp)
+
+	if err := tcli.Finish(); err != nil {
+		fatal(err)
+	}
+	if len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: %d experiment(s) failed: %s\n",
+			len(failed), strings.Join(failed, ", "))
+		os.Exit(1)
+	}
 }
 
 func correctness(apps.Class, bool) error {

@@ -4,7 +4,11 @@
 //
 // Usage:
 //
-//	ncrun -n 16 [-model bluegene] [-profile] [-scale-compute 0.5] prog.ncptl
+//	ncrun -n 16 [-model bluegene] [-profile] [-scale-compute 0.5]
+//	      [-telemetry] [-timeline run.json] [-serve :8080] prog.ncptl
+//
+// With -timeline the benchmark's virtual-time schedule is exported as Chrome
+// trace-event JSON (one row per task) for ui.perfetto.dev.
 package main
 
 import (
@@ -16,6 +20,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/mpip"
 	"repro/internal/netmodel"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -25,9 +30,13 @@ func main() {
 		profile   = flag.Bool("profile", false, "print the mpiP-style profile")
 		scale     = flag.Float64("scale-compute", 1.0, "multiply all COMPUTE durations (what-if studies)")
 	)
+	tcli := telemetry.NewCLI()
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fatal(fmt.Errorf("usage: ncrun [flags] prog.ncptl"))
+	}
+	if err := tcli.Start(); err != nil {
+		fatal(err)
 	}
 
 	src, err := os.ReadFile(flag.Arg(0))
@@ -54,8 +63,15 @@ func main() {
 	}
 
 	prof := mpip.NewProfile()
+	tracers := func(rank int) mpi.Tracer { return prof.TracerFor(rank) }
+	if tl := tcli.Timeline(); tl != nil {
+		timeline := mpi.TimelineTracer(tl)
+		tracers = func(rank int) mpi.Tracer {
+			return mpi.MultiTracer{prof.TracerFor(rank), timeline(rank)}
+		}
+	}
 	res, err := conceptual.Execute(prog, tasks, model,
-		conceptual.WithMPIOptions(mpi.WithTracer(prof.TracerFor)))
+		conceptual.WithMPIOptions(mpi.WithTracer(tracers)))
 	if err != nil {
 		fatal(err)
 	}
@@ -66,6 +82,9 @@ func main() {
 	}
 	if *profile {
 		fmt.Println(prof)
+	}
+	if err := tcli.Finish(); err != nil {
+		fatal(err)
 	}
 }
 

@@ -6,6 +6,10 @@
 // Usage:
 //
 //	tracegen -app bt -n 16 -class W [-model bluegene] [-o bt.trace] [-profile]
+//	         [-telemetry] [-timeline run.json] [-serve :8080]
+//
+// With -timeline the simulated run's virtual-time schedule is exported as
+// Chrome trace-event JSON (one row per rank); open it in ui.perfetto.dev.
 package main
 
 import (
@@ -15,7 +19,9 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/harness"
+	"repro/internal/mpi"
 	"repro/internal/netmodel"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -29,6 +35,7 @@ func main() {
 		profile   = flag.Bool("profile", false, "print the mpiP-style profile to stderr")
 		list      = flag.Bool("list", false, "list available applications and exit")
 	)
+	tcli := telemetry.NewCLI()
 	flag.Parse()
 
 	if *list {
@@ -36,6 +43,9 @@ func main() {
 			fmt.Printf("%-10s %s\n", name, apps.ByName(name).Description)
 		}
 		return
+	}
+	if err := tcli.Start(); err != nil {
+		fatal(err)
 	}
 
 	class, err := apps.ParseClass(*className)
@@ -47,7 +57,13 @@ func main() {
 		fatal(fmt.Errorf("unknown model %q", *modelName))
 	}
 
-	run, err := harness.TraceApp(*appName, apps.NewConfig(*n, class), model)
+	// With -timeline, a per-rank virtual-time tracer rides along with the
+	// trace collector and profiler.
+	var extra []func(rank int) mpi.Tracer
+	if tl := tcli.Timeline(); tl != nil {
+		extra = append(extra, mpi.TimelineTracer(tl))
+	}
+	run, err := harness.TraceApp(*appName, apps.NewConfig(*n, class), model, extra...)
 	if err != nil {
 		fatal(err)
 	}
@@ -68,6 +84,9 @@ func main() {
 		w = f
 	}
 	if err := trace.Encode(w, run.Trace); err != nil {
+		fatal(err)
+	}
+	if err := tcli.Finish(); err != nil {
 		fatal(err)
 	}
 }

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/mpi"
+	"repro/internal/mpip"
 	"repro/internal/netmodel"
 	"repro/internal/trace"
 )
@@ -40,11 +41,14 @@ func TestFastRuntimeMatchesReference(t *testing.T) {
 		}
 		t.Run(fmt.Sprintf("%s-%d", name, n), func(t *testing.T) {
 			t.Parallel()
-			fast, fastTrace := runKernel(t, name, n)
-			ref, refTrace := runKernel(t, name, n, mpi.WithReferenceCollectives())
+			fast, fastTrace, fastProf := runKernel(t, name, n)
+			ref, refTrace, refProf := runKernel(t, name, n, mpi.WithReferenceCollectives())
 
 			if !bytes.Equal(fastTrace, refTrace) {
 				t.Error("encoded traces differ between fast and reference collectives")
+			}
+			if report := mpip.Diff(refProf, fastProf); !report.Match() {
+				t.Errorf("mpiP profiles differ between fast and reference collectives:\n%s", report)
 			}
 			if wildcardApps[name] {
 				// Wildcard matching races in both runtimes, so the two runs
@@ -92,8 +96,11 @@ func TestFastRuntimeRunToRunDeterminism(t *testing.T) {
 		}
 		t.Run(fmt.Sprintf("%s-%d", name, n), func(t *testing.T) {
 			t.Parallel()
-			first, firstTrace := runKernel(t, name, n)
-			second, secondTrace := runKernel(t, name, n)
+			first, firstTrace, firstProf := runKernel(t, name, n)
+			second, secondTrace, secondProf := runKernel(t, name, n)
+			if report := mpip.Diff(firstProf, secondProf); !report.Match() {
+				t.Errorf("mpiP profiles differ between runs:\n%s", report)
+			}
 			for i := range first.PerRankUS {
 				if first.PerRankUS[i] != second.PerRankUS[i] {
 					t.Errorf("rank %d clock differs between runs: %v vs %v",
@@ -107,11 +114,17 @@ func TestFastRuntimeRunToRunDeterminism(t *testing.T) {
 	}
 }
 
-func runKernel(t *testing.T, name string, n int, opts ...mpi.Option) (*mpi.Result, []byte) {
+// runKernel runs one kernel with a trace collector and an mpiP profile
+// attached and returns the result, the encoded trace bytes and the profile,
+// so callers can compare runs at all three levels (clocks, trace, profile).
+func runKernel(t *testing.T, name string, n int, opts ...mpi.Option) (*mpi.Result, []byte, *mpip.Profile) {
 	t.Helper()
 	app := apps.ByName(name)
 	col := trace.NewCollector(n)
-	opts = append(opts, mpi.WithTracer(col.TracerFor))
+	prof := mpip.NewProfile()
+	opts = append(opts, mpi.WithTracer(func(rank int) mpi.Tracer {
+		return mpi.MultiTracer{col.TracerFor(rank), prof.TracerFor(rank)}
+	}))
 	res, err := mpi.Run(n, netmodel.BlueGeneL(), app.Body(apps.NewConfig(n, apps.ClassS)), opts...)
 	if err != nil {
 		t.Fatalf("%s: %v", name, err)
@@ -120,5 +133,5 @@ func runKernel(t *testing.T, name string, n int, opts ...mpi.Option) (*mpi.Resul
 	if err := trace.Encode(&buf, col.Trace()); err != nil {
 		t.Fatalf("%s: encode: %v", name, err)
 	}
-	return res, buf.Bytes()
+	return res, buf.Bytes(), prof
 }

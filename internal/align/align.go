@@ -18,8 +18,12 @@ import (
 
 	"repro/internal/mpi"
 	"repro/internal/taskset"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
+
+// ctrRounds counts merged collective rounds emitted by Algorithm 1.
+var ctrRounds = telemetry.NewCounter("align.rounds")
 
 // Needed performs the paper's O(r) pre-check: it scans the compressed trace
 // (not the expanded events) for collective RSDs whose recorded participant
@@ -70,6 +74,7 @@ type pendingColl struct {
 // rank's event order. It returns an error when the rendezvous cannot
 // complete, which indicates mismatched collectives in the input application.
 func Align(t *trace.Trace) (*trace.Trace, error) {
+	defer telemetry.Region("align.run")()
 	n := t.N
 	cursors := make([]*trace.Cursor, n)
 	for r := 0; r < n; r++ {
@@ -225,6 +230,7 @@ func firstArrival(pc *pendingColl, comm []int) (*trace.RSD, bool) {
 // new groups' memberships survive; all other collectives emit a single leaf
 // covering the whole communicator.
 func emitCollective(t *trace.Trace, out *trace.Builder, pc *pendingColl, comm []int) {
+	ctrRounds.Inc()
 	sample, count := 0.0, 0
 	for _, m := range pc.means {
 		sample += m

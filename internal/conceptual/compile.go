@@ -3,7 +3,12 @@ package conceptual
 import (
 	"repro/internal/mpi"
 	"repro/internal/taskset"
+	"repro/internal/telemetry"
 )
+
+// ctrCompiledNodes counts statements lowered into closures, across nesting
+// levels (a loop body's statements count individually).
+var ctrCompiledNodes = telemetry.NewCounter("conceptual.compiled_nodes")
 
 // This file lowers a coNCePTuaL program into a closure tree once per
 // (program, task count), so per-iteration execution does no AST walking and
@@ -36,6 +41,7 @@ type compiler struct {
 }
 
 func compileProgram(p *Program, n int, plans []commPlan) *compiledProgram {
+	defer telemetry.Region("conceptual.compile")()
 	c := &compiler{n: n, planIdx: make(map[string]int, len(plans))}
 	for i, pl := range plans {
 		c.planIdx[pl.key] = i
@@ -44,6 +50,7 @@ func compileProgram(p *Program, n int, plans []commPlan) *compiledProgram {
 }
 
 func (c *compiler) compileStmts(stmts []Stmt) []compiledStep {
+	ctrCompiledNodes.Add(int64(len(stmts)))
 	out := make([]compiledStep, len(stmts))
 	for i, s := range stmts {
 		out[i] = c.compileStmt(s)

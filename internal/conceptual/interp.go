@@ -8,6 +8,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/netmodel"
 	"repro/internal/taskset"
+	"repro/internal/telemetry"
 )
 
 // LogEntry is one value recorded by a LOG statement.
@@ -54,6 +55,7 @@ func WithTreeWalk() RunOption {
 // model. It plays the role of compiling the coNCePTuaL source to C+MPI and
 // running it on the target machine.
 func Execute(p *Program, n int, model *netmodel.Model, opts ...RunOption) (*RunResult, error) {
+	defer telemetry.Region("conceptual.execute")()
 	if n <= 0 {
 		return nil, fmt.Errorf("conceptual: task count %d must be positive", n)
 	}

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/align"
 	"repro/internal/conceptual"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/wildcard"
 )
@@ -37,6 +38,7 @@ type Options struct {
 // Generate converts an application trace into a coNCePTuaL benchmark
 // program. This is the end-to-end path of Figure 1.
 func Generate(t *trace.Trace, opts *Options) (*conceptual.Program, error) {
+	defer telemetry.Region("core.generate")()
 	if opts == nil {
 		opts = &Options{}
 	}

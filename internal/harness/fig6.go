@@ -63,7 +63,9 @@ func Fig6(class apps.Class, counts map[string][]int, model *netmodel.Model) ([]F
 		}
 	}
 	points := make([]Fig6Point, len(jobs))
-	err := forEach(len(jobs), func(i int) error {
+	err := forEachNamed(len(jobs), func(i int) string {
+		return fmt.Sprintf("fig6 %s/%d", jobs[i].name, jobs[i].n)
+	}, func(i int) error {
 		j := jobs[i]
 		run, err := TraceApp(j.name, apps.NewConfig(j.n, class), model)
 		if err != nil {

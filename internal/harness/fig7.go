@@ -72,7 +72,9 @@ func Fig7(class apps.Class, n int, model *netmodel.Model) ([]Fig7Point, error) {
 		pcts = append(pcts, pct)
 	}
 	points := make([]Fig7Point, len(pcts))
-	err = forEach(len(pcts), func(i int) error {
+	err = forEachNamed(len(pcts), func(i int) string {
+		return fmt.Sprintf("fig7 compute %d%%", pcts[i])
+	}, func(i int) error {
 		pct := pcts[i]
 		scaled := ScaleCompute(bench.Program, float64(pct)/100)
 		res, err := RunProgram(scaled, n, model)

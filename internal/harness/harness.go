@@ -32,8 +32,9 @@ type AppRun struct {
 
 // TraceApp runs the named application under ScalaTrace-style collection and
 // mpiP-style profiling, returning the trace, the profile and the original
-// run time.
-func TraceApp(name string, cfg apps.Config, model *netmodel.Model) (*AppRun, error) {
+// run time. Additional per-rank tracer factories (e.g. mpi.TimelineTracer
+// for a -timeline export) compose with the built-in pair via MultiTracer.
+func TraceApp(name string, cfg apps.Config, model *netmodel.Model, extra ...func(rank int) mpi.Tracer) (*AppRun, error) {
 	app := apps.ByName(name)
 	if app == nil {
 		return nil, fmt.Errorf("harness: unknown app %q (have %v)", name, apps.Names())
@@ -44,7 +45,11 @@ func TraceApp(name string, cfg apps.Config, model *netmodel.Model) (*AppRun, err
 	col := trace.NewCollector(cfg.N)
 	prof := mpip.NewProfile()
 	tracers := func(rank int) mpi.Tracer {
-		return mpi.MultiTracer{col.TracerFor(rank), prof.TracerFor(rank)}
+		mt := mpi.MultiTracer{col.TracerFor(rank), prof.TracerFor(rank)}
+		for _, f := range extra {
+			mt = append(mt, f(rank))
+		}
+		return mt
 	}
 	res, err := mpi.Run(cfg.N, model, app.Body(cfg),
 		append(runOptions(), mpi.WithTracer(tracers))...)

@@ -42,7 +42,9 @@ func NoiseSensitivity(appNames []string, n int, class apps.Class, fractions []fl
 	// function of seed/rank/event, so a fresh model with the same seed is the
 	// same noise instance) and runs concurrently on the harness pool.
 	points := make([]NoisePoint, len(jobs))
-	err := forEach(len(jobs), func(i int) error {
+	err := forEachNamed(len(jobs), func(i int) string {
+		return fmt.Sprintf("noise %s@%.3f", jobs[i].name, jobs[i].frac)
+	}, func(i int) error {
 		j := jobs[i]
 		ranks := n
 		app := apps.ByName(j.name)

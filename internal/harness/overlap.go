@@ -94,7 +94,9 @@ func OverlapStudy(appNames []string, n int, class apps.Class, model *netmodel.Mo
 		}
 	}
 	points := make([]OverlapPoint, len(appNames))
-	err := forEach(len(appNames), func(i int) error {
+	err := forEachNamed(len(appNames), func(i int) string {
+		return fmt.Sprintf("overlap %s/%d", appNames[i], n)
+	}, func(i int) error {
 		name := appNames[i]
 		app := apps.ByName(name)
 		ranks := n

@@ -1,12 +1,22 @@
 package harness
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/mpi"
+	"repro/internal/telemetry"
+)
+
+// Telemetry handles for the configuration pool.
+var (
+	ctrConfigsDone   = telemetry.NewCounter("harness.configs_done")
+	ctrConfigsFailed = telemetry.NewCounter("harness.configs_failed")
+	ctrWorkerPanics  = telemetry.NewCounter("harness.worker_panics")
 )
 
 // poolOverride pins the number of experiment configurations the harness runs
@@ -62,6 +72,15 @@ func runOptions() []mpi.Option {
 // lowest-index failure, which keeps error reporting deterministic too. Each
 // job is a whole simulated world, so work is handed out one index at a time.
 func forEach(n int, fn func(i int) error) error {
+	return forEachNamed(n, nil, fn)
+}
+
+// forEachNamed is forEach with a job-naming function used in failure
+// reports: a panic inside fn(i) is recovered and surfaces as that one
+// configuration's error — naming the configuration — instead of tearing
+// down the whole experiment run, and the remaining jobs still complete.
+// name may be nil, in which case failed jobs are reported by index.
+func forEachNamed(n int, name func(i int) string, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -70,8 +89,10 @@ func forEach(n int, fn func(i int) error) error {
 		workers = n
 	}
 	if workers <= 1 {
+		// The serial path keeps fail-fast semantics but still converts a
+		// panic into a named error.
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := runJob(name, i, fn); err != nil {
 				return err
 			}
 		}
@@ -89,7 +110,7 @@ func forEach(n int, fn func(i int) error) error {
 				if i >= n {
 					return
 				}
-				errs[i] = fn(i)
+				errs[i] = runJob(name, i, fn)
 			}
 		}()
 	}
@@ -100,4 +121,33 @@ func forEach(n int, fn func(i int) error) error {
 		}
 	}
 	return nil
+}
+
+// jobName renders the display name for job i.
+func jobName(name func(i int) string, i int) string {
+	if name != nil {
+		if s := name(i); s != "" {
+			return s
+		}
+	}
+	return fmt.Sprintf("#%d", i)
+}
+
+// runJob executes one configuration, recovering a panic into an error that
+// names the configuration, and counts the outcome.
+func runJob(name func(i int) string, i int, fn func(i int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			jb := jobName(name, i)
+			ctrWorkerPanics.Inc()
+			telemetry.Eventf("harness: worker panic in configuration %s: %v", jb, r)
+			err = fmt.Errorf("harness: configuration %s panicked: %v\n%s", jb, r, debug.Stack())
+		}
+		if err != nil {
+			ctrConfigsFailed.Inc()
+		} else {
+			ctrConfigsDone.Inc()
+		}
+	}()
+	return fn(i)
 }

@@ -2,6 +2,8 @@ package harness
 
 import (
 	"errors"
+	"fmt"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -73,6 +75,63 @@ func TestForEachCoversAllIndices(t *testing.T) {
 		if got := hits[i].Load(); got != 1 {
 			t.Fatalf("index %d ran %d times", i, got)
 		}
+	}
+}
+
+// TestForEachNamedCapturesPanic pins the pool's crash containment: a panic
+// inside one configuration surfaces as that configuration's error — naming
+// it — while every other configuration still runs to completion, on both the
+// parallel and the serial path.
+func TestForEachNamedCapturesPanic(t *testing.T) {
+	defer SetParallelism(0)
+	name := func(i int) string { return fmt.Sprintf("cfg %d", i) }
+	for _, workers := range []int{1, 8} {
+		SetParallelism(workers)
+		var hits [16]atomic.Int32
+		err := forEachNamed(len(hits), name, func(i int) error {
+			hits[i].Add(1)
+			if i == 5 {
+				panic("simulated worker crash")
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: panic swallowed", workers)
+		}
+		for _, want := range []string{"cfg 5", "panicked", "simulated worker crash"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("workers=%d: error missing %q: %v", workers, want, err)
+			}
+		}
+		if workers > 1 {
+			// The parallel path runs everything; only then is the
+			// lowest-index failure selected.
+			for i := range hits {
+				if got := hits[i].Load(); got != 1 {
+					t.Errorf("workers=%d: index %d ran %d times", workers, i, got)
+				}
+			}
+		}
+	}
+}
+
+// TestForEachNamedPanicBeatsLaterError checks the deterministic-reporting
+// rule holds across failure kinds: a panic at a lower index wins over a
+// plain error at a higher one.
+func TestForEachNamedPanicBeatsLaterError(t *testing.T) {
+	defer SetParallelism(0)
+	SetParallelism(4)
+	err := forEachNamed(8, nil, func(i int) error {
+		if i == 2 {
+			panic("early crash")
+		}
+		if i == 6 {
+			return errors.New("late failure")
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "#2 panicked") {
+		t.Fatalf("got %v, want the index-2 panic", err)
 	}
 }
 

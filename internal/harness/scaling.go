@@ -29,7 +29,9 @@ type ScalingPoint struct {
 // network model is used since only structure matters.
 func Scaling(name string, class apps.Class, counts []int) ([]ScalingPoint, error) {
 	points := make([]ScalingPoint, len(counts))
-	err := forEach(len(counts), func(i int) error {
+	err := forEachNamed(len(counts), func(i int) string {
+		return fmt.Sprintf("scaling %s/%d", name, counts[i])
+	}, func(i int) error {
 		n := counts[i]
 		run, err := TraceApp(name, apps.NewConfig(n, class), netmodel.Ideal())
 		if err != nil {

@@ -111,6 +111,7 @@ func (fc *fastColl) arriveFixed(commRank int, op Op, clock, shadow float64, cont
 	e.shadow = shadow
 	e.contrib = contrib
 	if int(rd.arrived.Add(1)) == fc.size {
+		ctrCollFastRounds.Inc()
 		// Last arriver: every other member's entry stores precede its counter
 		// increment, and this Add happens-after all of them, so the buffer is
 		// complete. Max over floats and ints is order-independent, so the

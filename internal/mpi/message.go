@@ -261,6 +261,7 @@ func (mb *mailbox) deposit(m *message) {
 	mb.unexLive++
 	mb.cond.Broadcast()
 	mb.mu.Unlock()
+	ctrQueuedUnexpected.Inc()
 }
 
 // post registers the receive p (allocated by the calling rank) and attempts
@@ -278,6 +279,7 @@ func (mb *mailbox) post(p *postedRecv) (matched bool) {
 		p.msg = m
 		p.fastMatched = true
 		mb.mu.Unlock()
+		ctrMatchedFast.Inc()
 		return true
 	}
 	if p.src == AnySource {

@@ -234,6 +234,9 @@ func (r *Rank) inject(wdst, tag, size int) *message {
 // postRecv builds a posted receive for this rank's current virtual time.
 // The mailbox stamps the post order under its lock.
 func (r *Rank) postRecv(wsrc, tag int) *postedRecv {
+	if wsrc == AnySource {
+		ctrWildcardRecvs.Inc()
+	}
 	p := r.newPostedRecv()
 	*p = postedRecv{src: wsrc, tag: tag, postTime: r.clock}
 	return p

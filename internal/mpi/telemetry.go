@@ -1,0 +1,51 @@
+package mpi
+
+import (
+	"strconv"
+
+	"repro/internal/telemetry"
+)
+
+// Telemetry handles for the transport hot paths. Handles are package
+// variables so instrumented sites pay one nil-or-flag check plus (enabled)
+// one atomic add — never a registry lookup. None of these feed back into
+// virtual time: traces and clocks are bit-identical with telemetry on or off.
+var (
+	// ctrMatchedFast counts receives satisfied at post time from the
+	// unexpected queue (the mailbox fast path that skips the second lock).
+	ctrMatchedFast = telemetry.NewCounter("mpi.msgs_matched_fast")
+	// ctrQueuedUnexpected counts deposits that found no posted acceptor and
+	// joined an unexpected queue.
+	ctrQueuedUnexpected = telemetry.NewCounter("mpi.msgs_queued")
+	// ctrCollFastRounds counts combining-barrier collective rounds completed
+	// on the fast path.
+	ctrCollFastRounds = telemetry.NewCounter("mpi.coll_fast_rounds")
+	// ctrWildcardRecvs counts receives posted with AnySource.
+	ctrWildcardRecvs = telemetry.NewCounter("mpi.wildcard_recvs")
+)
+
+// timelineTracer records each operation of one rank as a virtual-time span
+// on the rank's timeline track. It composes with the trace collector and the
+// mpiP profiler through MultiTracer.
+type timelineTracer struct {
+	track *telemetry.Track
+}
+
+// TimelineTracer returns a per-rank tracer factory feeding tl: every MPI
+// operation becomes a span on the rank's track at its virtual start time,
+// and inter-call computation becomes a preceding "compute" span. Exported via
+// Timeline.WriteChrome, the result is the run's virtual-time schedule as
+// Perfetto renders it — one row per rank.
+func TimelineTracer(tl *telemetry.Timeline) func(rank int) Tracer {
+	return func(rank int) Tracer {
+		return &timelineTracer{track: tl.Track(rank, "rank "+strconv.Itoa(rank))}
+	}
+}
+
+// Record implements Tracer.
+func (t *timelineTracer) Record(ev *Event) {
+	if ev.ComputeUS > 0 {
+		t.track.Add("compute", ev.StartUS-ev.ComputeUS, ev.ComputeUS)
+	}
+	t.track.Add(ev.Op.String(), ev.StartUS, ev.EndUS-ev.StartUS)
+}

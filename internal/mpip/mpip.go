@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"repro/internal/mpi"
+	"repro/internal/stats"
 )
 
 // Profile aggregates per-operation statistics across all ranks of a run.
@@ -79,14 +80,14 @@ func (p *Profile) TotalBytes() int64 {
 	return t
 }
 
-// Diff describes one per-operation discrepancy between two profiles.
-type Diff struct {
+// OpDiff describes one per-operation discrepancy between two profiles.
+type OpDiff struct {
 	Op             mpi.Op
 	CountA, CountB int64
 	BytesA, BytesB int64
 }
 
-func (d Diff) String() string {
+func (d OpDiff) String() string {
 	return fmt.Sprintf("%s: calls %d vs %d, bytes %d vs %d",
 		d.Op, d.CountA, d.CountB, d.BytesA, d.BytesB)
 }
@@ -95,16 +96,96 @@ func (d Diff) String() string {
 // An empty result means the profiles match perfectly, the paper's criterion
 // for communication correctness. Wait-family and Init operations are
 // compared by count only; volume fields are informational there.
-func Compare(a, b *Profile) []Diff {
-	var diffs []Diff
+func Compare(a, b *Profile) []OpDiff {
+	var diffs []OpDiff
 	for op := mpi.Op(0); int(op) < mpi.NumOps; op++ {
 		ca, ba := a.Count(op), a.Bytes(op)
 		cb, bb := b.Count(op), b.Bytes(op)
 		if ca != cb || ba != bb {
-			diffs = append(diffs, Diff{Op: op, CountA: ca, CountB: cb, BytesA: ba, BytesB: bb})
+			diffs = append(diffs, OpDiff{Op: op, CountA: ca, CountB: cb, BytesA: ba, BytesB: bb})
 		}
 	}
 	return diffs
+}
+
+// ReportRow is one operation's comparison in a Diff report: both profiles'
+// count and volume plus the percentage error of B against A (A is the
+// reference, as in Section 5.2's original-vs-generated comparison).
+type ReportRow struct {
+	Op             mpi.Op
+	CountA, CountB int64
+	BytesA, BytesB int64
+	CountErrPct    float64
+	BytesErrPct    float64
+}
+
+// Report is a full per-operation comparison of two profiles, covering every
+// operation either profile observed (matching rows included, unlike Compare).
+type Report struct {
+	Rows []ReportRow
+}
+
+// Diff compares two profiles operation by operation and returns the report.
+// Profile a is the reference for the percentage errors.
+func Diff(a, b *Profile) *Report {
+	r := &Report{}
+	for op := mpi.Op(0); int(op) < mpi.NumOps; op++ {
+		ca, ba := a.Count(op), a.Bytes(op)
+		cb, bb := b.Count(op), b.Bytes(op)
+		if ca == 0 && cb == 0 && ba == 0 && bb == 0 {
+			continue
+		}
+		r.Rows = append(r.Rows, ReportRow{
+			Op: op, CountA: ca, CountB: cb, BytesA: ba, BytesB: bb,
+			CountErrPct: stats.AbsPercentError(float64(cb), float64(ca)),
+			BytesErrPct: stats.AbsPercentError(float64(bb), float64(ba)),
+		})
+	}
+	return r
+}
+
+// Match reports whether the two profiles agree exactly on every operation.
+func (r *Report) Match() bool {
+	for _, row := range r.Rows {
+		if row.CountA != row.CountB || row.BytesA != row.BytesB {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxErrPct returns the largest percentage error across all rows and both
+// dimensions (counts and bytes).
+func (r *Report) MaxErrPct() float64 {
+	max := 0.0
+	for _, row := range r.Rows {
+		if row.CountErrPct > max {
+			max = row.CountErrPct
+		}
+		if row.BytesErrPct > max {
+			max = row.BytesErrPct
+		}
+	}
+	return max
+}
+
+// String renders the report as a table, one row per operation, mismatching
+// rows marked with a trailing asterisk.
+func (r *Report) String() string {
+	var sb strings.Builder
+	sb.WriteString("@--- Profile Comparison (A = reference) ---\n")
+	fmt.Fprintf(&sb, "%-16s %10s %10s %8s %12s %12s %8s\n",
+		"Call", "CountA", "CountB", "err%", "BytesA", "BytesB", "err%")
+	for _, row := range r.Rows {
+		mark := ""
+		if row.CountA != row.CountB || row.BytesA != row.BytesB {
+			mark = " *"
+		}
+		fmt.Fprintf(&sb, "%-16s %10d %10d %8.2f %12d %12d %8.2f%s\n",
+			row.Op, row.CountA, row.CountB, row.CountErrPct,
+			row.BytesA, row.BytesB, row.BytesErrPct, mark)
+	}
+	return sb.String()
 }
 
 // String renders an mpiP-style report, one line per operation that was

@@ -121,6 +121,63 @@ func TestCompareDetectsDifferences(t *testing.T) {
 	}
 }
 
+func TestDiffMatchingProfiles(t *testing.T) {
+	a := profileOf(t, 4, ringBody(512))
+	b := profileOf(t, 4, ringBody(512))
+	rep := Diff(a, b)
+	if !rep.Match() {
+		t.Fatalf("identical runs reported as mismatch:\n%s", rep)
+	}
+	if got := rep.MaxErrPct(); got != 0 {
+		t.Errorf("MaxErrPct = %v, want 0", got)
+	}
+	if len(rep.Rows) == 0 {
+		t.Error("report has no rows; matching operations must still be listed")
+	}
+	for _, row := range rep.Rows {
+		if row.CountA == 0 && row.CountB == 0 && row.BytesA == 0 && row.BytesB == 0 {
+			t.Errorf("all-zero operation %s listed", row.Op)
+		}
+	}
+	if strings.Contains(rep.String(), "*") {
+		t.Errorf("matching report carries mismatch markers:\n%s", rep)
+	}
+}
+
+func TestDiffDetectsMismatch(t *testing.T) {
+	a := profileOf(t, 4, ringBody(512))
+	b := profileOf(t, 4, ringBody(513))
+	rep := Diff(a, b)
+	if rep.Match() {
+		t.Fatalf("differing runs reported as match:\n%s", rep)
+	}
+	// Message sizes changed 512 -> 513; call counts are unchanged, so the
+	// largest error is the bytes error of the point-to-point ops, ~0.195%.
+	wantErr := 100.0 * 1 / 512
+	if got := rep.MaxErrPct(); got < wantErr*0.99 || got > wantErr*1.01 {
+		t.Errorf("MaxErrPct = %v, want about %v", got, wantErr)
+	}
+	var isend *ReportRow
+	for i := range rep.Rows {
+		if rep.Rows[i].Op == mpi.OpIsend {
+			isend = &rep.Rows[i]
+		}
+	}
+	if isend == nil {
+		t.Fatalf("no Isend row in:\n%s", rep)
+	}
+	if isend.CountErrPct != 0 {
+		t.Errorf("Isend count error = %v, want 0 (only bytes changed)", isend.CountErrPct)
+	}
+	if isend.BytesErrPct == 0 {
+		t.Error("Isend bytes error = 0, want nonzero")
+	}
+	out := rep.String()
+	if !strings.Contains(out, "Profile Comparison") || !strings.Contains(out, " *") {
+		t.Errorf("report misses header or mismatch marker:\n%s", out)
+	}
+}
+
 func TestReportFormat(t *testing.T) {
 	p := profileOf(t, 2, ringBody(64))
 	rep := p.String()

@@ -1,0 +1,55 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// The event stream is a bounded ring of notable occurrences (worker panics,
+// degraded configurations) kept alongside the numeric metrics: numbers say
+// how often, events say what. It is global — events are rare and reporting
+// them should not require threading a handle through every layer.
+
+const maxEvents = 256
+
+var (
+	eventMu   sync.Mutex
+	eventRing []string
+	eventDrop int // events discarded once the ring filled
+)
+
+// Eventf records one formatted event with a wall-clock stamp. No-op while
+// telemetry is disabled.
+func Eventf(format string, args ...any) {
+	if !enabled.Load() {
+		return
+	}
+	msg := time.Now().UTC().Format(time.RFC3339) + " " + fmt.Sprintf(format, args...)
+	eventMu.Lock()
+	if len(eventRing) >= maxEvents {
+		eventRing = eventRing[1:]
+		eventDrop++
+	}
+	eventRing = append(eventRing, msg)
+	eventMu.Unlock()
+}
+
+// Events returns the recorded events, oldest first. A trailing marker notes
+// how many earlier events the ring discarded, if any.
+func Events() []string {
+	eventMu.Lock()
+	defer eventMu.Unlock()
+	out := append([]string(nil), eventRing...)
+	if eventDrop > 0 {
+		out = append(out, fmt.Sprintf("(%d earlier events dropped)", eventDrop))
+	}
+	return out
+}
+
+// resetEvents clears the stream (Registry.Reset on the default registry).
+func resetEvents() {
+	eventMu.Lock()
+	eventRing, eventDrop = nil, 0
+	eventMu.Unlock()
+}

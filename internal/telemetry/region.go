@@ -1,0 +1,59 @@
+package telemetry
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// processStart anchors wall-clock region spans so exported timelines start
+// near zero rather than at the Unix epoch.
+var processStart = time.Now()
+
+// noopEnd is the shared disabled-path closure, so Region allocates nothing
+// when telemetry is off.
+var noopEnd = func() {}
+
+// regionTL, when set, receives a wall-clock span for every completed region
+// (see CaptureRegions).
+var regionTL atomic.Pointer[Timeline]
+
+// RegionTrack is the timeline track ID used for wall-clock region spans;
+// it is far above any plausible rank number so rank tracks and the pipeline
+// track never collide in one timeline.
+const RegionTrack = 1 << 20
+
+// CaptureRegions routes every completed region into tl as a wall-clock span
+// on RegionTrack (pass nil to stop). Used by commands whose -timeline output
+// is pipeline stages rather than a simulated run's virtual time.
+func CaptureRegions(tl *Timeline) {
+	if tl == nil {
+		regionTL.Store(nil)
+		return
+	}
+	tl.Track(RegionTrack, "pipeline stages")
+	regionTL.Store(tl)
+}
+
+// Region starts timing a named region of real (wall-clock) time and returns
+// the closure that ends it:
+//
+//	defer telemetry.Region("trace.merge")()
+//
+// The duration lands in the region's histogram in the default registry and,
+// when CaptureRegions is active, as a span on the pipeline track. Disabled,
+// Region costs one atomic load and returns a shared no-op.
+func Region(name string) func() {
+	if !enabled.Load() {
+		return noopEnd
+	}
+	h := Default.regionHist(name)
+	start := time.Now()
+	return func() {
+		durUS := float64(time.Since(start)) / float64(time.Microsecond)
+		h.Observe(durUS)
+		if tl := regionTL.Load(); tl != nil {
+			startUS := float64(start.Sub(processStart)) / float64(time.Microsecond)
+			tl.Track(RegionTrack, "pipeline stages").Add(name, startUS, durUS)
+		}
+	}
+}

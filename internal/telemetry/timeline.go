@@ -1,0 +1,152 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Span is one timed interval on a timeline track. Times are microseconds on
+// the track's own axis: virtual time for rank tracks fed by the runtime's
+// tracer adapter, wall time since process start for region tracks.
+type Span struct {
+	Name    string
+	StartUS float64
+	DurUS   float64
+}
+
+// Track is one row of a timeline (one rank, or the pipeline-stage row). Adds
+// are guarded by the track's own mutex, so per-rank producers never contend
+// with each other.
+type Track struct {
+	id    int
+	name  string
+	mu    sync.Mutex
+	spans []Span
+}
+
+// Add appends one span to the track.
+func (tk *Track) Add(name string, startUS, durUS float64) {
+	tk.mu.Lock()
+	tk.spans = append(tk.spans, Span{Name: name, StartUS: startUS, DurUS: durUS})
+	tk.mu.Unlock()
+}
+
+// Spans returns a copy of the track's spans in append order.
+func (tk *Track) Spans() []Span {
+	tk.mu.Lock()
+	defer tk.mu.Unlock()
+	return append([]Span(nil), tk.spans...)
+}
+
+// Timeline collects per-track span streams for export as a Chrome
+// trace-event file. It is safe for concurrent use: each producer obtains its
+// Track once and appends under that track's lock.
+type Timeline struct {
+	mu     sync.Mutex
+	tracks map[int]*Track
+}
+
+// NewTimeline returns an empty timeline.
+func NewTimeline() *Timeline {
+	return &Timeline{tracks: make(map[int]*Track)}
+}
+
+// Track returns the track with the given ID, creating it (with the given
+// display name) on first use.
+func (tl *Timeline) Track(id int, name string) *Track {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	tk, ok := tl.tracks[id]
+	if !ok {
+		tk = &Track{id: id, name: name}
+		tl.tracks[id] = tk
+	}
+	return tk
+}
+
+// SpanCount returns the total number of spans across all tracks.
+func (tl *Timeline) SpanCount() int {
+	tl.mu.Lock()
+	tracks := make([]*Track, 0, len(tl.tracks))
+	for _, tk := range tl.tracks {
+		tracks = append(tracks, tk)
+	}
+	tl.mu.Unlock()
+	n := 0
+	for _, tk := range tracks {
+		tk.mu.Lock()
+		n += len(tk.spans)
+		tk.mu.Unlock()
+	}
+	return n
+}
+
+// chromeEvent is one entry of the Chrome trace-event JSON format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU),
+// the format ui.perfetto.dev and chrome://tracing open directly.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`
+	Dur  float64           `json:"dur,omitempty"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// chromeDoc is the trace-event file's object form.
+type chromeDoc struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// timelinePID is the single process ID all tracks share; tracks map to
+// threads so Perfetto stacks them under one process group.
+const timelinePID = 1
+
+// WriteChrome writes the timeline as Chrome trace-event JSON. Tracks are
+// emitted in ascending ID order with their spans in append order, so the
+// output is deterministic for deterministic producers — the property the
+// virtual-time golden test pins.
+func (tl *Timeline) WriteChrome(w io.Writer) error {
+	tl.mu.Lock()
+	tracks := make([]*Track, 0, len(tl.tracks))
+	for _, tk := range tl.tracks {
+		tracks = append(tracks, tk)
+	}
+	tl.mu.Unlock()
+	sort.Slice(tracks, func(i, j int) bool { return tracks[i].id < tracks[j].id })
+
+	events := []chromeEvent{{
+		Name: "process_name", Ph: "M", PID: timelinePID, TID: 0,
+		Args: map[string]string{"name": "repro"},
+	}}
+	for _, tk := range tracks {
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: timelinePID, TID: tk.id,
+			Args: map[string]string{"name": tk.name},
+		})
+	}
+	for _, tk := range tracks {
+		cat := "mpi"
+		if tk.id == RegionTrack {
+			cat = "pipeline"
+		}
+		for _, sp := range tk.Spans() {
+			c := cat
+			if sp.Name == "compute" {
+				c = "compute"
+			}
+			events = append(events, chromeEvent{
+				Name: sp.Name, Cat: c, Ph: "X",
+				TS: sp.StartUS, Dur: sp.DurUS,
+				PID: timelinePID, TID: tk.id,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeDoc{TraceEvents: events, DisplayTimeUnit: "ms"})
+}

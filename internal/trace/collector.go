@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/mpi"
 	"repro/internal/taskset"
+	"repro/internal/telemetry"
 )
 
 // Collector gathers the per-rank event streams of one run (via the runtime's
@@ -111,11 +112,15 @@ func (c *Collector) Trace() *Trace {
 	}
 	c.mu.Unlock()
 
+	end := telemetry.Region("trace.finalize")
 	seqs := make([][]Node, c.n)
 	for rank := 0; rank < c.n; rank++ {
 		seqs[rank] = c.builders[rank].Seq()
 	}
 	t := MergeRankSeqsOwned(c.n, comms, seqs)
+	end()
+	telemetry.NewGauge("trace.groups").Set(int64(len(t.Groups)))
+	telemetry.NewGauge("trace.total_events").Set(int64(t.TotalEvents()))
 	c.mu.Lock()
 	c.trace = t
 	c.mu.Unlock()

@@ -167,6 +167,7 @@ func (b *Builder) foldOnce() bool {
 				}
 				lp.Iters++
 				lp.invalidate()
+				ctrFolds.Inc()
 				b.seq = b.seq[:L-w]
 				// The loop's own hash changed with its iteration count;
 				// re-index it under the new hash (its body-tail entry is
@@ -189,6 +190,7 @@ func (b *Builder) foldOnce() bool {
 				absorb(body[i], b.seq[L-w+i])
 			}
 			loop := &Loop{Iters: 2, Body: body}
+			ctrFolds.Inc()
 			b.seq = append(b.seq[:L-2*w], loop)
 			b.index(L-2*w, loop)
 			return true

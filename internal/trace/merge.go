@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/taskset"
+	"repro/internal/telemetry"
 )
 
 // This file implements the parallel inter-node merge. The sequential
@@ -62,6 +63,7 @@ func MergeRankSeqsOwned(n int, comms map[int][]int, seqs [][]Node) *Trace {
 }
 
 func mergeRankSeqs(n int, comms map[int][]int, seqs [][]Node, owned bool) *Trace {
+	defer telemetry.Region("trace.merge")()
 	tr := &Trace{N: n, Comms: comms}
 	if n <= 0 {
 		return tr
@@ -103,7 +105,9 @@ func mergeRankSeqs(n int, comms map[int][]int, seqs [][]Node, owned bool) *Trace
 		k  int // 0 = group sequence, >= 1 = member index
 	}
 	var tasks []flatTask
+	var memberFolds int64
 	for ci, c := range classes {
+		memberFolds += int64(len(c.members) - 1)
 		if len(c.members) == 1 {
 			continue
 		}
@@ -114,6 +118,7 @@ func mergeRankSeqs(n int, comms map[int][]int, seqs [][]Node, owned bool) *Trace
 			tasks = append(tasks, flatTask{st: st, k: k})
 		}
 	}
+	ctrRSDMerges.Add(memberFolds)
 	parallelFor(len(tasks), func(ti int) {
 		t := tasks[ti]
 		if t.k == 0 {

@@ -1,0 +1,15 @@
+package trace
+
+import "repro/internal/telemetry"
+
+// Telemetry handles for the compression pipeline. Package variables so the
+// intra-rank fold loop — the pipeline's hottest code — pays one flag check
+// per successful fold and no registry lookups.
+var (
+	// ctrFolds counts successful intra-rank compression steps: loop
+	// extensions (Case A) plus pair folds (Case B).
+	ctrFolds = telemetry.NewCounter("trace.folds")
+	// ctrRSDMerges counts inter-node member folds: for each behaviour class,
+	// every member beyond the representative is folded into the group.
+	ctrRSDMerges = telemetry.NewCounter("trace.rsd_merges")
+)

@@ -23,8 +23,12 @@ import (
 
 	"repro/internal/mpi"
 	"repro/internal/taskset"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
+
+// ctrResolved counts wildcard receives fixed to a concrete source.
+var ctrResolved = telemetry.NewCounter("wildcard.resolved")
 
 // Present performs the O(r) pre-check: does the compressed trace contain any
 // wildcard receives?
@@ -115,6 +119,7 @@ type resolver struct {
 // every wildcard receive names a concrete source. It returns a
 // *DeadlockError if the input application can deadlock.
 func Resolve(t *trace.Trace) (*trace.Trace, error) {
+	defer telemetry.Region("wildcard.resolve")()
 	n := t.N
 	r := &resolver{
 		t:           t,
@@ -343,6 +348,7 @@ func (r *resolver) complete(rank int, pr *pendingRecv, m *message) {
 			commSrc = m.src
 		}
 		pr.leaf.Peer = trace.AbsParam(commSrc)
+		ctrResolved.Inc()
 		r.flush(rank)
 	}
 }
@@ -372,6 +378,7 @@ func (r *resolver) doBlockingRecv(rank int, rsd *trace.RSD) bool {
 			commSrc = m.src
 		}
 		leaf.Peer = trace.AbsParam(commSrc)
+		ctrResolved.Inc()
 	}
 	r.emit(rank, leaf)
 	return true
