@@ -1,17 +1,20 @@
 GO ?= go
 
-.PHONY: test check bench bench-all race timeline
+.PHONY: test check bench bench-all race timeline serve
 
 test:
 	$(GO) test ./...
 
-# check is the pre-commit gate: static analysis plus the race detector over
-# the concurrent subsystems — the parallel trace pipeline, the simulated MPI
+# check is the pre-commit gate: static analysis, the race detector over the
+# concurrent subsystems — the parallel trace pipeline, the simulated MPI
 # transport (including the atomic combining barrier), the compiled
-# coNCePTuaL interpreter, the harness worker pool and the telemetry registry.
+# coNCePTuaL interpreter, the harness worker pool, the telemetry registry
+# and the benchd service — plus a short fuzz pass over the untrusted-upload
+# trace decoder.
 check:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/trace/... ./internal/mpi/... ./internal/conceptual/... ./internal/harness/... ./internal/telemetry/...
+	$(GO) test -race ./internal/trace/... ./internal/mpi/... ./internal/conceptual/... ./internal/harness/... ./internal/telemetry/... ./internal/service/...
+	$(GO) test -run NONE -fuzz FuzzDecode -fuzztime 10s ./internal/trace/
 
 race:
 	$(GO) test -race ./...
@@ -39,3 +42,8 @@ bench-all:
 timeline:
 	$(GO) run ./cmd/tracegen -app ring -n 64 -class S -o /dev/null -timeline timeline.json
 	@echo "wrote timeline.json — open https://ui.perfetto.dev and load it"
+
+# serve starts the generation daemon with a persistent result cache; see
+# README "Serving" for the request walkthrough.
+serve:
+	$(GO) run ./cmd/benchd -addr :8125 -cache-dir .benchd-cache

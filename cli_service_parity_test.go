@@ -1,0 +1,90 @@
+// TestCLIServiceParity is the cross-layer golden test for the serving path:
+// the daemon must hand back byte-for-byte what the CLI tools produce, so a
+// user can move between `tracegen | benchgen` and benchd without ever
+// diffing artifacts. It runs the real binaries (via go run) on one side and
+// an in-process daemon on the other; the pipeline-determinism guarantee
+// (TestPipelineDeterminism) is what makes a byte-equality assertion across
+// two processes sound.
+package repro
+
+import (
+	"context"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/service"
+)
+
+func TestCLIServiceParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping CLI parity test in -short mode")
+	}
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "ring.trace")
+
+	runTool := func(args ...string) string {
+		t.Helper()
+		cmd := exec.Command("go", append([]string{"run"}, args...)...)
+		cmd.Env = os.Environ()
+		out, err := cmd.Output()
+		if err != nil {
+			msg := err.Error()
+			if ee, ok := err.(*exec.ExitError); ok {
+				msg = string(ee.Stderr)
+			}
+			t.Fatalf("go run %v: %s", args, msg)
+		}
+		return string(out)
+	}
+
+	runTool("./cmd/tracegen", "-app", "ring", "-n", "8", "-class", "S",
+		"-model", "bluegene", "-o", tracePath)
+	cliConceptual := runTool("./cmd/benchgen", "-i", tracePath)
+	cliC := runTool("./cmd/benchgen", "-i", tracePath, "-lang", "c")
+
+	srv, err := service.NewServer(service.Config{Workers: 2, QueueDepth: 4})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	defer srv.Shutdown(context.Background())
+	cl := &service.Client{BaseURL: hs.URL}
+
+	// App-mode request: the daemon traces ring itself with the same
+	// model/class and must generate the identical benchmark.
+	res, err := cl.Generate(context.Background(),
+		&service.Request{App: "ring", N: 8, Class: "S", Model: "bluegene"})
+	if err != nil {
+		t.Fatalf("Generate(app): %v", err)
+	}
+	if res.Source != cliConceptual {
+		t.Fatalf("benchd app-mode source differs from `tracegen | benchgen` output\n"+
+			"served %d bytes, cli %d bytes", len(res.Source), len(cliConceptual))
+	}
+
+	// Upload mode: posting the tracegen-written trace file must match
+	// benchgen run on that same file, for both languages.
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up, err := cl.Generate(context.Background(), &service.Request{Trace: string(raw)})
+	if err != nil {
+		t.Fatalf("Generate(upload): %v", err)
+	}
+	if up.Source != cliConceptual {
+		t.Fatal("benchd upload-mode source differs from benchgen output")
+	}
+	upc, err := cl.Generate(context.Background(),
+		&service.Request{Trace: string(raw), Lang: "c"})
+	if err != nil {
+		t.Fatalf("Generate(upload, c): %v", err)
+	}
+	if upc.Source != cliC {
+		t.Fatal("benchd C source differs from benchgen -lang c output")
+	}
+}

@@ -1,0 +1,105 @@
+// Command benchd serves the paper's pipeline as a long-running daemon:
+// POST a generation request — an app/scale selection or a raw scalatrace-go
+// trace — and get back the executable coNCePTuaL/C benchmark together with
+// the predicted per-rank virtual timing and the mpiP-style profile.
+//
+// Usage:
+//
+//	benchd [-addr :8125] [-workers n] [-queue n]
+//	       [-cache-dir dir] [-cache-entries n]
+//	       [-job-timeout 2m] [-drain-timeout 30s]
+//
+// Endpoints:
+//
+//	POST /v1/jobs             submit a job (429 + Retry-After when saturated)
+//	GET  /v1/jobs             list jobs
+//	GET  /v1/jobs/{id}        job status and current pipeline stage
+//	GET  /v1/jobs/{id}/result the generated artifact (JSON)
+//	GET  /v1/jobs/{id}/source the generated source (text/plain)
+//	DELETE /v1/jobs/{id}      cancel a queued or running job
+//	POST /v1/generate         synchronous submit-and-wait
+//	GET  /metrics             telemetry snapshot; /timeline; /healthz
+//
+// Results are content-addressed: identical requests are served from the
+// cache without recomputation. SIGINT/SIGTERM drains in-flight jobs before
+// exiting; jobs still running when -drain-timeout expires are cancelled,
+// which tears their simulated worlds down cleanly.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8125", "listen address")
+		workers      = flag.Int("workers", 0, "generation workers (default: GOMAXPROCS-derived)")
+		queue        = flag.Int("queue", 0, "job queue depth (default: 4x workers)")
+		cacheDir     = flag.String("cache-dir", "", "persistent result cache directory (empty: memory only)")
+		cacheEntries = flag.Int("cache-entries", 64, "in-memory result cache entries")
+		jobTimeout   = flag.Duration("job-timeout", 2*time.Minute, "per-job pipeline timeout")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown drain window")
+	)
+	flag.Parse()
+
+	// The daemon always runs with telemetry on: /metrics and /timeline are
+	// part of its API.
+	telemetry.Enable()
+
+	srv, err := service.NewServer(service.Config{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheDir:     *cacheDir,
+		CacheEntries: *cacheEntries,
+		JobTimeout:   *jobTimeout,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	log.Printf("benchd: serving on %s", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("benchd: %v: draining in-flight jobs (up to %v)", sig, *drainTimeout)
+	case err := <-errc:
+		fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("benchd: drain window expired, remaining jobs cancelled: %v", err)
+	}
+	if err := hs.Shutdown(context.Background()); err != nil {
+		log.Printf("benchd: http shutdown: %v", err)
+	}
+	log.Printf("benchd: stopped")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchd:", err)
+	os.Exit(1)
+}

@@ -8,6 +8,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/apps"
@@ -35,6 +36,13 @@ type AppRun struct {
 // run time. Additional per-rank tracer factories (e.g. mpi.TimelineTracer
 // for a -timeline export) compose with the built-in pair via MultiTracer.
 func TraceApp(name string, cfg apps.Config, model *netmodel.Model, extra ...func(rank int) mpi.Tracer) (*AppRun, error) {
+	return TraceAppContext(context.Background(), name, cfg, model, extra...)
+}
+
+// TraceAppContext is TraceApp bounded by ctx: when ctx is cancelled the
+// simulated run is torn down (no leaked rank goroutines) and the context
+// error is returned. Service jobs run their whole pipeline under one ctx.
+func TraceAppContext(ctx context.Context, name string, cfg apps.Config, model *netmodel.Model, extra ...func(rank int) mpi.Tracer) (*AppRun, error) {
 	app := apps.ByName(name)
 	if app == nil {
 		return nil, fmt.Errorf("harness: unknown app %q (have %v)", name, apps.Names())
@@ -51,8 +59,11 @@ func TraceApp(name string, cfg apps.Config, model *netmodel.Model, extra ...func
 		}
 		return mt
 	}
-	res, err := mpi.Run(cfg.N, model, app.Body(cfg),
-		append(runOptions(), mpi.WithTracer(tracers))...)
+	opts := append(runOptions(), mpi.WithTracer(tracers))
+	if ctx != nil && ctx.Done() != nil {
+		opts = append(opts, mpi.WithContext(ctx))
+	}
+	res, err := mpi.Run(cfg.N, model, app.Body(cfg), opts...)
 	if err != nil {
 		return nil, fmt.Errorf("harness: running %s: %w", name, err)
 	}

@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -17,6 +19,8 @@ var (
 	ctrConfigsDone   = telemetry.NewCounter("harness.configs_done")
 	ctrConfigsFailed = telemetry.NewCounter("harness.configs_failed")
 	ctrWorkerPanics  = telemetry.NewCounter("harness.worker_panics")
+	ctrPoolJobsRun   = telemetry.NewCounter("harness.pool_jobs_run")
+	ctrPoolPanics    = telemetry.NewCounter("harness.pool_job_panics")
 )
 
 // poolOverride pins the number of experiment configurations the harness runs
@@ -131,6 +135,110 @@ func jobName(name func(i int) string, i int) string {
 		}
 	}
 	return fmt.Sprintf("#%d", i)
+}
+
+// ErrQueueFull is returned by Pool.Submit when the bounded queue has no free
+// slot; callers translate it into backpressure (benchd answers 429).
+var ErrQueueFull = errors.New("harness: job queue full")
+
+// ErrPoolClosed is returned by Pool.Submit after Drain began.
+var ErrPoolClosed = errors.New("harness: pool closed")
+
+// Pool is a long-lived bounded worker pool for service-style workloads, as
+// opposed to forEach's one-shot experiment fan-out. Jobs carry a
+// context.Context that the worker hands to the job body; the body is
+// expected to thread it into everything cancellable it starts (simulated
+// runs via mpi.WithContext, stage boundaries via ctx.Err checks), so a
+// cancelled or timed-out job actually stops pipeline work instead of leaking
+// goroutines. Submit never blocks: a full queue is reported as ErrQueueFull
+// and left to the caller's backpressure policy.
+type Pool struct {
+	jobs chan poolJob
+	wg   sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+type poolJob struct {
+	ctx context.Context
+	run func(ctx context.Context)
+}
+
+// NewPool starts a pool with the given number of workers and queue capacity.
+// workers <= 0 uses Parallelism(); queueCap <= 0 means no buffering (a job is
+// accepted only if a worker is idle and receiving).
+func NewPool(workers, queueCap int) *Pool {
+	if workers <= 0 {
+		workers = Parallelism()
+	}
+	if queueCap < 0 {
+		queueCap = 0
+	}
+	p := &Pool{jobs: make(chan poolJob, queueCap)}
+	p.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer p.wg.Done()
+			for j := range p.jobs {
+				p.runOne(j)
+			}
+		}()
+	}
+	return p
+}
+
+// runOne executes a submitted job, containing a panic to that job: a
+// crashing request must not take down the pool's worker (and with it the
+// daemon's capacity).
+func (p *Pool) runOne(j poolJob) {
+	defer func() {
+		if r := recover(); r != nil {
+			ctrPoolPanics.Inc()
+			telemetry.Eventf("harness: pool job panic: %v", r)
+		}
+	}()
+	ctrPoolJobsRun.Inc()
+	j.run(j.ctx)
+}
+
+// Submit enqueues a job without blocking. The job body receives ctx (never
+// nil) when a worker picks it up; a body that observes ctx already cancelled
+// should record that outcome itself — the pool does not second-guess it.
+func (p *Pool) Submit(ctx context.Context, run func(ctx context.Context)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrPoolClosed
+	}
+	select {
+	case p.jobs <- poolJob{ctx: ctx, run: run}:
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// QueueLen reports how many accepted jobs are waiting for a worker.
+func (p *Pool) QueueLen() int { return len(p.jobs) }
+
+// QueueCap reports the queue's capacity.
+func (p *Pool) QueueCap() int { return cap(p.jobs) }
+
+// Drain stops accepting new jobs and blocks until every previously accepted
+// job — queued or running — has finished. This is the graceful-shutdown
+// guarantee benchd relies on: no accepted job is lost.
+func (p *Pool) Drain() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.jobs)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
 }
 
 // runJob executes one configuration, recovering a panic into an error that

@@ -1,0 +1,81 @@
+package mpi
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// runStop coordinates tearing down an in-flight run. A run is cancelled
+// (context cancellation, deadline, or the wall-clock deadlock timeout) by
+// trigger, which wakes every rank blocked in the transport or a collective
+// rendezvous; the woken ranks unwind their goroutines by panicking with the
+// runStopped sentinel, which Run's per-rank recover swallows. This is what
+// lets a timed-out or cancelled Run return with zero leaked goroutines: the
+// world is poisoned, not abandoned.
+type runStop struct {
+	flag atomic.Bool
+	ch   chan struct{}
+
+	mu    sync.Mutex
+	conds []*sync.Cond
+}
+
+func newRunStop() *runStop { return &runStop{ch: make(chan struct{})} }
+
+// register adds a condition variable to wake on trigger. Waiters must
+// re-check stopped after every Wait.
+func (s *runStop) register(c *sync.Cond) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.conds = append(s.conds, c)
+	s.mu.Unlock()
+}
+
+// stopped reports whether the run has been cancelled. Safe on a nil receiver
+// so transport code works in worlds without a stop (none today, but cheap).
+func (s *runStop) stopped() bool { return s != nil && s.flag.Load() }
+
+// done returns the channel closed by trigger, or nil (blocks forever in a
+// select) when no stop exists.
+func (s *runStop) done() <-chan struct{} {
+	if s == nil {
+		return nil
+	}
+	return s.ch
+}
+
+// trigger cancels the run: it closes the stop channel (waking channel-parked
+// collective waiters) and broadcasts every registered condition variable
+// (waking mailbox and reference-rendezvous waiters). Each broadcast happens
+// under the condition's lock, so a waiter that checked stopped just before
+// parking is guaranteed to be woken. Idempotent.
+func (s *runStop) trigger() {
+	if s == nil || !s.flag.CompareAndSwap(false, true) {
+		return
+	}
+	close(s.ch)
+	s.mu.Lock()
+	conds := append([]*sync.Cond(nil), s.conds...)
+	s.mu.Unlock()
+	for _, c := range conds {
+		c.L.Lock()
+		c.Broadcast()
+		c.L.Unlock()
+	}
+}
+
+// runStopped is the panic sentinel a rank goroutine unwinds with after its
+// run was cancelled. Run's recover treats it as orderly teardown, not a
+// user-code panic.
+type runStopped struct{}
+
+// checkStopped panics with the teardown sentinel if the run was cancelled.
+// Called at every blocking wait's re-check and at every MPI entry point, so
+// a cancelled run stops both blocked and still-computing ranks.
+func (s *runStop) checkStopped() {
+	if s.stopped() {
+		panic(runStopped{})
+	}
+}

@@ -1,0 +1,116 @@
+package mpi
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/netmodel"
+)
+
+// waitForGoroutines polls until the goroutine count drops back to at most
+// base (plus a small slack for runtime helpers), or the deadline passes.
+func waitForGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines did not drain: %d now vs %d before the run", runtime.NumGoroutine(), base)
+}
+
+// TestRunContextCancelUnblocksRanks cancels a run whose ranks are blocked in
+// every kind of wait — a point-to-point receive, a collective rendezvous and
+// a (virtual) compute loop — and asserts Run returns the context error with
+// no rank goroutine left behind.
+func TestRunContextCancelUnblocksRanks(t *testing.T) {
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	_, err := Run(8, netmodel.Ideal(), func(r *Rank) {
+		switch r.Rank() {
+		case 0:
+			// Blocks forever: nobody sends to rank 0.
+			r.Recv(r.World(), 1, 7, 8)
+		default:
+			// Blocks forever: rank 0 never joins the barrier.
+			r.Barrier(r.World())
+		}
+	}, WithContext(ctx), WithTimeout(30*time.Second))
+	if err == nil {
+		t.Fatal("Run succeeded, want cancellation error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run error %v does not wrap context.Canceled", err)
+	}
+	waitForGoroutines(t, base)
+}
+
+// TestRunContextCancelReferenceCollectives exercises the mutex+cond
+// rendezvous teardown path.
+func TestRunContextCancelReferenceCollectives(t *testing.T) {
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	_, err := Run(4, netmodel.Ideal(), func(r *Rank) {
+		if r.Rank() != 0 {
+			r.Barrier(r.World())
+		} else {
+			r.Recv(r.World(), 1, 1, 1)
+		}
+	}, WithContext(ctx), WithReferenceCollectives(), WithTimeout(30*time.Second))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run error %v does not wrap context.Canceled", err)
+	}
+	waitForGoroutines(t, base)
+}
+
+// TestRunTimeoutDrainsGoroutines asserts the deadlock-timeout path also
+// unwinds every rank instead of leaking them.
+func TestRunTimeoutDrainsGoroutines(t *testing.T) {
+	base := runtime.NumGoroutine()
+	_, err := Run(4, netmodel.Ideal(), func(r *Rank) {
+		if r.Rank() == 0 {
+			r.Recv(r.World(), 1, 99, 4) // never sent
+		} else {
+			r.Barrier(r.World())
+		}
+	}, WithTimeout(200*time.Millisecond))
+	if err == nil || !strings.Contains(err.Error(), "deadlock suspected") {
+		t.Fatalf("Run error = %v, want deadlock timeout", err)
+	}
+	waitForGoroutines(t, base)
+}
+
+// TestRunContextUncancelledIsHarmless pins that merely passing a live context
+// changes nothing about a successful run.
+func TestRunContextUncancelledIsHarmless(t *testing.T) {
+	ctx := context.Background()
+	res, err := Run(4, netmodel.Ideal(), func(r *Rank) {
+		r.Barrier(r.World())
+		if r.Rank() == 0 {
+			r.Send(r.World(), 1, 5, 64)
+		} else if r.Rank() == 1 {
+			r.Recv(r.World(), 0, 5, 64)
+		}
+		r.Barrier(r.World())
+	}, WithContext(ctx))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.PerRankUS) != 4 {
+		t.Fatalf("PerRankUS has %d entries, want 4", len(res.PerRankUS))
+	}
+}

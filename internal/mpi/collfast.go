@@ -76,10 +76,12 @@ type fastColl struct {
 	cur     atomic.Pointer[collRound]
 	entries []collEntry // one slot per member, reused across rounds
 	slow    *lockedColl
+	stop    *runStop
 }
 
-func newFastColl(size int) *fastColl {
-	fc := &fastColl{size: size, entries: make([]collEntry, size), slow: newLockedColl(size)}
+func newFastColl(size int, stop *runStop) *fastColl {
+	fc := &fastColl{size: size, stop: stop,
+		entries: make([]collEntry, size), slow: newLockedColl(size, stop)}
 	fc.cur.Store(newCollRound())
 	return fc
 }
@@ -155,7 +157,16 @@ func (fc *fastColl) arriveFixed(commRank int, op Op, clock, shadow float64, cont
 		}
 		runtime.Gosched()
 	}
-	<-rd.done
+	select {
+	case <-rd.done:
+	case <-fc.stop.done():
+		// The run was poisoned while this member was parked. If the round
+		// nevertheless completed (the seal racing the trigger), its results
+		// are valid and the member proceeds to unwind at its next call.
+		if !rd.sealed.Load() {
+			panic(runStopped{})
+		}
+	}
 	return rd.completion, rd.shadowCompletion
 }
 

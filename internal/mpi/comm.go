@@ -75,10 +75,14 @@ func newComm(w *World, id int, group []int) *Comm {
 			c.index[wr] = i
 		}
 	}
+	var stop *runStop
+	if w != nil {
+		stop = w.stop
+	}
 	if w != nil && w.refColl {
-		c.sync = newLockedColl(len(group))
+		c.sync = newLockedColl(len(group), stop)
 	} else {
-		c.sync = newFastColl(len(group))
+		c.sync = newFastColl(len(group), stop)
 	}
 	return c
 }
@@ -116,6 +120,7 @@ type lockedColl struct {
 	mu   sync.Mutex
 	cond *sync.Cond
 	size int
+	stop *runStop
 
 	gen        uint64
 	arrived    int
@@ -131,9 +136,10 @@ type lockedColl struct {
 	shared           any
 }
 
-func newLockedColl(size int) *lockedColl {
-	cs := &lockedColl{size: size, payload: make([]any, size)}
+func newLockedColl(size int, stop *runStop) *lockedColl {
+	cs := &lockedColl{size: size, stop: stop, payload: make([]any, size)}
 	cs.cond = sync.NewCond(&cs.mu)
+	stop.register(cs.cond)
 	return cs
 }
 
@@ -184,6 +190,7 @@ func (cs *lockedColl) arrive(commRank int, op Op, clock, shadow float64, contrib
 	// A later round cannot complete without this member arriving again, so
 	// once gen advances the stored completion/shared belong to our round.
 	for cs.gen == myGen {
+		cs.stop.checkStopped()
 		cs.cond.Wait()
 	}
 	return cs.completion, cs.shadowCompletion, cs.shared
@@ -230,6 +237,7 @@ func (cs *lockedColl) arriveFixed(commRank int, op Op, clock, shadow float64, co
 		return cs.completion, cs.shadowCompletion
 	}
 	for cs.gen == myGen {
+		cs.stop.checkStopped()
 		cs.cond.Wait()
 	}
 	return cs.completion, cs.shadowCompletion

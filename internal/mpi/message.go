@@ -204,15 +204,21 @@ type mailbox struct {
 	postCount uint64    // post-order stamp generator
 
 	lastDrain float64 // receiver clock at the most recent drain
+
+	// stop is the world's cancellation latch; every blocking wait re-checks
+	// it after waking so a poisoned world unblocks its receivers and stalled
+	// senders.
+	stop *runStop
 }
 
 // initMailbox prepares a zero mailbox in place, with srcIdx as its
 // per-source index. The world carves every mailbox and every srcIdx slice
 // out of two world-sized backing arrays, so n ranks cost two transport
 // allocations rather than 3n.
-func (mb *mailbox) initMailbox(srcIdx []int32) {
+func (mb *mailbox) initMailbox(srcIdx []int32, stop *runStop) {
 	mb.srcIdx = srcIdx
 	mb.cond.L = &mb.mu
+	mb.stop = stop
 }
 
 // slot returns the per-source state for src, allocating it on first use.
@@ -348,6 +354,7 @@ func (mb *mailbox) awaitMatch(p *postedRecv) {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
 	for p.msg == nil {
+		mb.stop.checkStopped()
 		mb.cond.Wait()
 	}
 	mb.noteConsumedLocked(p)
@@ -401,6 +408,7 @@ func (mb *mailbox) awaitCredit(msg *message, window int, senderClock float64) (r
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
 	for !msg.drained && mb.slot(msg.src).inflight > window {
+		mb.stop.checkStopped()
 		stalled = true
 		mb.cond.Wait()
 	}

@@ -189,6 +189,9 @@ func (r *Rank) checkActive() {
 	if r.finalized {
 		panic(fmt.Sprintf("mpi: rank %d used after Finalize", r.rank))
 	}
+	// Every MPI entry point is a cancellation point: a rank that was busy in
+	// a (virtual) compute phase when the run was poisoned unwinds here.
+	r.w.stop.checkStopped()
 }
 
 // inject creates and deposits a message to world rank wdst, returning it.

@@ -22,6 +22,9 @@ var (
 	ctrCollFastRounds = telemetry.NewCounter("mpi.coll_fast_rounds")
 	// ctrWildcardRecvs counts receives posted with AnySource.
 	ctrWildcardRecvs = telemetry.NewCounter("mpi.wildcard_recvs")
+	// ctrRunsCancelled counts runs torn down by context cancellation or the
+	// deadlock timeout (every rank goroutine unwinds either way).
+	ctrRunsCancelled = telemetry.NewCounter("mpi.runs_cancelled")
 )
 
 // timelineTracer records each operation of one rank as a virtual-time span

@@ -1,6 +1,7 @@
 package mpi
 
 import (
+	"context"
 	"fmt"
 	"runtime/debug"
 	"sync"
@@ -20,6 +21,9 @@ type World struct {
 	// refColl selects the reference mutex+cond collective rendezvous for
 	// every communicator (WithReferenceCollectives).
 	refColl bool
+	// stop poisons the world on cancellation or timeout so every rank
+	// goroutine unwinds instead of leaking (see cancel.go).
+	stop *runStop
 }
 
 // Result reports the outcome of a completed run.
@@ -34,6 +38,7 @@ type config struct {
 	tracerFor func(rank int) Tracer
 	timeout   time.Duration
 	refColl   bool
+	ctx       context.Context
 }
 
 // Option configures a Run.
@@ -48,6 +53,14 @@ func WithTracer(f func(rank int) Tracer) Option {
 // exceeds it is reported as a suspected deadlock. The default is 60 seconds.
 func WithTimeout(d time.Duration) Option {
 	return func(c *config) { c.timeout = d }
+}
+
+// WithContext bounds the run by ctx: when ctx is cancelled (or its deadline
+// passes) the run is torn down — every rank goroutine, blocked or computing,
+// unwinds — and Run returns an error wrapping ctx.Err(). This is how a
+// service-side per-job timeout reaches all the way into the simulated world.
+func WithContext(ctx context.Context) Option {
+	return func(c *config) { c.ctx = ctx }
 }
 
 // WithReferenceCollectives runs every communicator's collectives through the
@@ -74,17 +87,25 @@ func Run(n int, model *netmodel.Model, body func(*Rank), opts ...Option) (*Resul
 	for _, o := range opts {
 		o(&cfg)
 	}
+	if cfg.ctx != nil {
+		// An already-cancelled context never starts the world at all.
+		if err := cfg.ctx.Err(); err != nil {
+			return nil, fmt.Errorf("mpi: run cancelled: %w", err)
+		}
+	}
 
 	// World-sized state is carved from a handful of backing arrays rather
 	// than allocated per rank: the mailboxes, their per-source indexes and
 	// the rank structs each cost one allocation for the whole world, and
 	// the index slab holds no pointers for the garbage collector to scan.
-	w := &World{n: n, model: model, mailboxes: make([]*mailbox, n), refColl: cfg.refColl}
+	w := &World{n: n, model: model, mailboxes: make([]*mailbox, n), refColl: cfg.refColl,
+		stop: newRunStop()}
 	mbs := make([]mailbox, n)
 	srcIdx := make([]int32, n*n)
 	for i := range w.mailboxes {
-		mbs[i].initMailbox(srcIdx[i*n : (i+1)*n : (i+1)*n])
+		mbs[i].initMailbox(srcIdx[i*n:(i+1)*n:(i+1)*n], w.stop)
 		w.mailboxes[i] = &mbs[i]
+		w.stop.register(&mbs[i].cond)
 	}
 	group := make([]int, n)
 	for i := range group {
@@ -113,6 +134,10 @@ func Run(n int, model *netmodel.Model, body func(*Rank), opts ...Option) (*Resul
 			defer wg.Done()
 			defer func() {
 				if p := recover(); p != nil {
+					if _, stopped := p.(runStopped); stopped {
+						// Orderly teardown of a cancelled run, not a failure.
+						return
+					}
 					panicMu.Lock()
 					panicked = append(panicked,
 						fmt.Errorf("mpi: rank %d panicked: %v\n%s", r.rank, p, debug.Stack()))
@@ -131,11 +156,29 @@ func Run(n int, model *netmodel.Model, body func(*Rank), opts ...Option) (*Resul
 		wg.Wait()
 		close(done)
 	}()
+	var ctxDone <-chan struct{}
+	if cfg.ctx != nil {
+		ctxDone = cfg.ctx.Done()
+	}
+	timer := time.NewTimer(cfg.timeout)
+	defer timer.Stop()
 	timedOut := false
+	var ctxErr error
 	select {
 	case <-done:
-	case <-time.After(cfg.timeout):
+	case <-timer.C:
 		timedOut = true
+	case <-ctxDone:
+		ctxErr = cfg.ctx.Err()
+	}
+	if timedOut || ctxErr != nil {
+		// Poison the world and wait for every rank goroutine to unwind: a
+		// cancelled or deadlocked run must not leak its ranks. Blocked ranks
+		// are woken by the trigger; computing ranks stop at their next MPI
+		// call.
+		ctrRunsCancelled.Inc()
+		w.stop.trigger()
+		<-done
 	}
 
 	// A panicking rank leaves its peers blocked, so a timeout often masks a
@@ -144,6 +187,9 @@ func Run(n int, model *netmodel.Model, body func(*Rank), opts ...Option) (*Resul
 	defer panicMu.Unlock()
 	if len(panicked) > 0 {
 		return nil, panicked[0]
+	}
+	if ctxErr != nil {
+		return nil, fmt.Errorf("mpi: run cancelled: %w", ctxErr)
 	}
 	if timedOut {
 		return nil, fmt.Errorf("mpi: run did not complete within %v (deadlock suspected)", cfg.timeout)

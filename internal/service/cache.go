@@ -1,0 +1,136 @@
+package service
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/telemetry"
+)
+
+var (
+	ctrCacheHitsMem  = telemetry.NewCounter("service.cache_hits_mem")
+	ctrCacheHitsDisk = telemetry.NewCounter("service.cache_hits_disk")
+	ctrCacheMisses   = telemetry.NewCounter("service.cache_misses")
+	ctrCacheEvicted  = telemetry.NewCounter("service.cache_evictions")
+)
+
+// cache is the content-addressed result store: an in-memory LRU of bounded
+// entry count fronting an optional on-disk store that survives restarts.
+// Because a Result is a pure function of its Request key, entries never
+// expire — an eviction only trades memory for a disk re-read.
+type cache struct {
+	mu      sync.Mutex
+	entries int
+	order   *list.List               // front = most recently used
+	byKey   map[string]*list.Element // value: *cacheEntry
+	dir     string                   // "" disables the disk tier
+}
+
+type cacheEntry struct {
+	key string
+	res *Result
+}
+
+func newCache(entries int, dir string) (*cache, error) {
+	if entries < 1 {
+		entries = 1
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("service: cache dir: %w", err)
+		}
+	}
+	return &cache{entries: entries, order: list.New(),
+		byKey: make(map[string]*list.Element), dir: dir}, nil
+}
+
+// get returns the cached result for key and which tier served it ("mem" or
+// "disk"), or nil on a miss. A disk hit is promoted into the memory tier.
+func (c *cache) get(key string) (*Result, string) {
+	c.mu.Lock()
+	if el, ok := c.byKey[key]; ok {
+		c.order.MoveToFront(el)
+		res := el.Value.(*cacheEntry).res
+		c.mu.Unlock()
+		ctrCacheHitsMem.Inc()
+		return res, "mem"
+	}
+	c.mu.Unlock()
+
+	if c.dir != "" {
+		data, err := os.ReadFile(c.diskPath(key))
+		if err == nil {
+			var res Result
+			if json.Unmarshal(data, &res) == nil && res.Key == key {
+				c.putMem(key, &res)
+				ctrCacheHitsDisk.Inc()
+				return &res, "disk"
+			}
+		}
+	}
+	ctrCacheMisses.Inc()
+	return nil, ""
+}
+
+// put stores res in both tiers. The disk write is atomic (tmp + rename) so a
+// crash mid-write can never leave a half-serialized artifact to be served.
+func (c *cache) put(key string, res *Result) error {
+	c.putMem(key, res)
+	if c.dir == "" {
+		return nil
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		return fmt.Errorf("service: cache encode: %w", err)
+	}
+	tmp, err := os.CreateTemp(c.dir, "put-*.tmp")
+	if err != nil {
+		return fmt.Errorf("service: cache write: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("service: cache write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("service: cache write: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), c.diskPath(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("service: cache write: %w", err)
+	}
+	return nil
+}
+
+func (c *cache) putMem(key string, res *Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*cacheEntry).res = res
+		return
+	}
+	c.byKey[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+	for c.order.Len() > c.entries {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.byKey, last.Value.(*cacheEntry).key)
+		ctrCacheEvicted.Inc()
+	}
+}
+
+// len reports the memory-tier entry count (for tests and /metrics gauges).
+func (c *cache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+func (c *cache) diskPath(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}

@@ -1,0 +1,161 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Client talks to a benchd daemon.
+type Client struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8125".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+	// PollInterval paces Wait's status polling (default 50ms).
+	PollInterval time.Duration
+}
+
+// BusyError reports a 429 rejection; RetryAfter carries the server's
+// backoff hint.
+type BusyError struct {
+	RetryAfter time.Duration
+	Message    string
+}
+
+func (e *BusyError) Error() string {
+	return fmt.Sprintf("server busy (retry after %v): %s", e.RetryAfter, e.Message)
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) url(path string) string {
+	return strings.TrimRight(c.BaseURL, "/") + path
+}
+
+// Submit enqueues a request and returns the accepted (or cache-served) job.
+func (c *Client) Submit(ctx context.Context, req *Request) (*JobStatus, error) {
+	var st JobStatus
+	if err := c.post(ctx, "/v1/jobs", req, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Status fetches a job's current state.
+func (c *Client) Status(ctx context.Context, id string) (*JobStatus, error) {
+	var st JobStatus
+	if err := c.get(ctx, "/v1/jobs/"+id, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Cancel asks the daemon to cancel a job and returns its final status.
+func (c *Client) Cancel(ctx context.Context, id string) (*JobStatus, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.url("/v1/jobs/"+id), nil)
+	if err != nil {
+		return nil, err
+	}
+	var st JobStatus
+	if err := c.do(hreq, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Wait polls until the job reaches a terminal state, then fetches the
+// result. A failed or canceled job returns its error.
+func (c *Client) Wait(ctx context.Context, id string) (*Result, error) {
+	interval := c.PollInterval
+	if interval <= 0 {
+		interval = 50 * time.Millisecond
+	}
+	for {
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		switch st.State {
+		case StateDone:
+			var res Result
+			if err := c.get(ctx, "/v1/jobs/"+id+"/result", &res); err != nil {
+				return nil, err
+			}
+			return &res, nil
+		case StateFailed, StateCanceled:
+			return nil, fmt.Errorf("job %s %s: %s", id, st.State, st.Error)
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(interval):
+		}
+	}
+}
+
+// Generate is the synchronous one-shot: submit, wait, return the artifact.
+func (c *Client) Generate(ctx context.Context, req *Request) (*Result, error) {
+	var res Result
+	if err := c.post(ctx, "/v1/generate", req, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+func (c *Client) post(ctx context.Context, path string, body, out any) error {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url(path), bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	return c.do(hreq, out)
+}
+
+func (c *Client) get(ctx context.Context, path string, out any) error {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url(path), nil)
+	if err != nil {
+		return err
+	}
+	return c.do(hreq, out)
+}
+
+func (c *Client) do(hreq *http.Request, out any) error {
+	resp, err := c.httpClient().Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		retry := time.Second
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			retry = time.Duration(secs) * time.Second
+		}
+		return &BusyError{RetryAfter: retry, Message: strings.TrimSpace(string(msg))}
+	}
+	if resp.StatusCode >= 400 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("%s %s: %s: %s", hreq.Method, hreq.URL.Path,
+			resp.Status, strings.TrimSpace(string(msg)))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

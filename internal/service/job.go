@@ -1,0 +1,137 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// Job states. A job moves queued → running → one of done/failed/canceled;
+// a cache hit is born done.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// Job is one tracked generation request inside the daemon.
+type Job struct {
+	mu     sync.Mutex
+	id     string
+	key    string
+	req    *Request
+	state  string
+	stage  string // current pipeline stage while running
+	cached string // "mem"/"disk" when served from cache, else ""
+	err    error
+	res    *Result
+	done   chan struct{} // closed on any terminal state
+	cancel context.CancelFunc
+}
+
+// JobStatus is the wire view of a Job.
+type JobStatus struct {
+	ID     string `json:"id"`
+	Key    string `json:"key"`
+	State  string `json:"state"`
+	Stage  string `json:"stage,omitempty"`
+	Cached string `json:"cached,omitempty"`
+	Error  string `json:"error,omitempty"`
+	App    string `json:"app,omitempty"`
+	N      int    `json:"n,omitempty"`
+	Lang   string `json:"lang,omitempty"`
+}
+
+func newJob(id string, req *Request) *Job {
+	return &Job{id: id, key: req.Key(), req: req, state: StateQueued,
+		done: make(chan struct{})}
+}
+
+// Status snapshots the job for serving.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := JobStatus{ID: j.id, Key: j.key, State: j.state, Stage: j.stage,
+		Cached: j.cached, App: j.req.App, N: j.req.N, Lang: j.req.Lang}
+	if j.err != nil {
+		s.Error = j.err.Error()
+	}
+	return s
+}
+
+// Done returns the channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Outcome returns the terminal result or error; call only after Done.
+func (j *Job) Outcome() (*Result, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.res, j.err
+}
+
+func (j *Job) setRunning() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state == StateQueued {
+		j.state = StateRunning
+	}
+}
+
+func (j *Job) setStage(stage string) {
+	j.mu.Lock()
+	j.stage = stage
+	j.mu.Unlock()
+}
+
+// finish records the terminal state exactly once. A context error on a job
+// the client cancelled lands as canceled rather than failed.
+func (j *Job) finish(res *Result, err error, canceled bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case StateDone, StateFailed, StateCanceled:
+		return
+	}
+	j.stage = ""
+	switch {
+	case canceled:
+		j.state = StateCanceled
+		if err == nil {
+			err = fmt.Errorf("job %s canceled", j.id)
+		}
+		j.err = err
+	case err != nil:
+		j.state = StateFailed
+		j.err = err
+	default:
+		j.state = StateDone
+		j.res = res
+	}
+	close(j.done)
+}
+
+// finishCached marks a cache-served job as done without ever being queued.
+func (j *Job) finishCached(res *Result, tier string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = StateDone
+	j.cached = tier
+	j.res = res
+	close(j.done)
+}
+
+// requestCancel triggers the job's context cancellation, if it is still
+// cancellable. The terminal state is recorded by the pipeline unwinding.
+func (j *Job) requestCancel() bool {
+	j.mu.Lock()
+	cancel := j.cancel
+	state := j.state
+	j.mu.Unlock()
+	if cancel == nil || state == StateDone || state == StateFailed || state == StateCanceled {
+		return false
+	}
+	cancel()
+	return true
+}

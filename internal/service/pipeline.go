@@ -1,0 +1,170 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/conceptual"
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/mpi"
+	"repro/internal/mpip"
+	"repro/internal/netmodel"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+var (
+	ctrPipelineRuns   = telemetry.NewCounter("service.pipeline_runs")
+	ctrPipelineErrors = telemetry.NewCounter("service.pipeline_errors")
+)
+
+// Pipeline stage names, in execution order. They double as job progress
+// labels and as telemetry region names, so a job's current stage is visible
+// both on GET /v1/jobs/{id} and as a span on the /timeline export.
+const (
+	StageTrace    = "service.trace"
+	StageGenerate = "service.generate"
+	StageRender   = "service.render"
+	StagePredict  = "service.predict"
+)
+
+// runPipeline executes one generation request end to end under ctx: obtain a
+// trace (run the app, or decode the upload), generate the coNCePTuaL program
+// (Algorithms 2 and 1 inside core.Generate), render the requested target
+// language, and execute the generated benchmark on the requested model for
+// the predicted timing and the mpiP-style profile.
+//
+// The app path deliberately round-trips the collected trace through
+// Encode/Decode before generating: that is exactly what `tracegen | benchgen`
+// does, so the served source is byte-identical to the CLI pipeline's output
+// (the parity tests pin this).
+func runPipeline(ctx context.Context, req *Request, progress func(stage string)) (*Result, error) {
+	if progress == nil {
+		progress = func(string) {}
+	}
+	ctrPipelineRuns.Inc()
+	res, err := runStages(ctx, req, progress)
+	if err != nil {
+		ctrPipelineErrors.Inc()
+		return nil, err
+	}
+	return res, nil
+}
+
+func runStages(ctx context.Context, req *Request, progress func(string)) (*Result, error) {
+	model := netmodel.Preset(req.Model)
+	if model == nil {
+		return nil, fmt.Errorf("unknown model %q", req.Model)
+	}
+
+	tr, err := obtainTrace(ctx, req, model, progress)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	progress(StageGenerate)
+	endGen := telemetry.Region(StageGenerate)
+	prog, err := core.Generate(tr, &core.Options{
+		Comments: []string{fmt.Sprintf("source trace: %d ranks, %d events", tr.N, tr.TotalEvents())},
+	})
+	endGen()
+	if err != nil {
+		return nil, fmt.Errorf("generate: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	progress(StageRender)
+	endRender := telemetry.Region(StageRender)
+	var src string
+	switch req.Lang {
+	case "conceptual":
+		src = conceptual.Print(prog)
+	case "c":
+		src = conceptual.GenerateC(prog)
+	case "go":
+		src, err = core.GenerateGo(tr, nil)
+	default:
+		err = fmt.Errorf("unknown target language %q", req.Lang)
+	}
+	endRender()
+	if err != nil {
+		return nil, fmt.Errorf("render: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Predicted timing comes from executing the generated benchmark itself
+	// (not the original app) on the requested model — the coNCePTuaL program
+	// is the executable specification whichever language was rendered.
+	progress(StagePredict)
+	endPredict := telemetry.Region(StagePredict)
+	prof := mpip.NewProfile()
+	run, err := conceptual.Execute(prog, tr.N, model,
+		conceptual.WithMPIOptions(mpi.WithTracer(prof.TracerFor), mpi.WithContext(ctx)))
+	endPredict()
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
+		return nil, fmt.Errorf("predict: %w", err)
+	}
+
+	return &Result{
+		Key:         req.Key(),
+		App:         req.App,
+		N:           tr.N,
+		Lang:        req.Lang,
+		Source:      src,
+		PerRankUS:   run.PerTaskUS,
+		ElapsedUS:   run.ElapsedUS,
+		Profile:     prof.String(),
+		TraceEvents: tr.TotalEvents(),
+		TraceNodes:  tr.NodeCount(),
+	}, nil
+}
+
+// obtainTrace produces the canonical input trace: decoded from the upload,
+// or collected by running the named app and round-tripped through the codec.
+func obtainTrace(ctx context.Context, req *Request, model *netmodel.Model, progress func(string)) (*trace.Trace, error) {
+	progress(StageTrace)
+	defer telemetry.Region(StageTrace)()
+
+	if req.Trace != "" {
+		tr, err := trace.Decode(strings.NewReader(req.Trace))
+		if err != nil {
+			return nil, fmt.Errorf("uploaded trace: %w", err)
+		}
+		return tr, nil
+	}
+
+	class, err := apps.ParseClass(req.Class)
+	if err != nil {
+		return nil, err
+	}
+	run, err := harness.TraceAppContext(ctx, req.App, apps.NewConfig(req.N, class), model)
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := trace.Encode(&buf, run.Trace); err != nil {
+		return nil, fmt.Errorf("encode trace: %w", err)
+	}
+	tr, err := trace.Decode(&buf)
+	if err != nil {
+		return nil, fmt.Errorf("canonicalize trace: %w", err)
+	}
+	return tr, nil
+}

@@ -1,0 +1,140 @@
+// Package service is the benchd subsystem: a long-running HTTP daemon that
+// turns generation requests — an application/scale selection or a raw
+// uploaded scalatrace-go trace — into executable coNCePTuaL/C benchmarks with
+// the predicted per-rank virtual timing and the mpiP-style profile, by
+// composing the repository's pipeline packages (apps → mpi/trace →
+// wildcard/align → core/conceptual) behind a content-addressed result cache
+// and a bounded, context-cancellable job queue.
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/netmodel"
+	"repro/internal/trace"
+)
+
+// Request is one benchmark-generation request. Exactly one of App or Trace
+// must be set: App names a workload from the built-in suite to trace first,
+// Trace supplies a raw scalatrace-go trace (the text format) directly.
+type Request struct {
+	// App is a workload name from the application suite (see apps.Names).
+	App string `json:"app,omitempty"`
+	// N is the rank count for an App request.
+	N int `json:"n,omitempty"`
+	// Class is the NPB problem class (S, W, A, B, C); default W.
+	Class string `json:"class,omitempty"`
+	// Model is the platform model preset (bluegene, ethernet, infiniband,
+	// ideal); default bluegene.
+	Model string `json:"model,omitempty"`
+	// Lang is the target language (conceptual, c, go); default conceptual.
+	Lang string `json:"lang,omitempty"`
+	// Trace is a raw scalatrace-go trace document; mutually exclusive with
+	// App. It is decoded under the trace package's untrusted-input bounds.
+	Trace string `json:"trace,omitempty"`
+}
+
+// normalize applies defaults and validates the request, returning a
+// client-attributable error (served as 400) when it is malformed.
+func (r *Request) normalize() error {
+	if r.Lang == "" {
+		r.Lang = "conceptual"
+	}
+	switch r.Lang {
+	case "conceptual", "c", "go":
+	default:
+		return fmt.Errorf("unknown lang %q (want conceptual, c or go)", r.Lang)
+	}
+	if r.Model == "" {
+		r.Model = "bluegene"
+	}
+	if netmodel.Preset(r.Model) == nil {
+		return fmt.Errorf("unknown model %q (want bluegene, ethernet, infiniband or ideal)", r.Model)
+	}
+
+	if r.Trace != "" {
+		if r.App != "" {
+			return fmt.Errorf("request has both app %q and an uploaded trace; send exactly one", r.App)
+		}
+		// App-only knobs must not silently differentiate cache keys for
+		// trace uploads.
+		if r.N != 0 || r.Class != "" {
+			return fmt.Errorf("n and class apply only to app requests, not uploaded traces")
+		}
+		return nil
+	}
+
+	if r.App == "" {
+		return fmt.Errorf("request names no app and uploads no trace")
+	}
+	app := apps.ByName(r.App)
+	if app == nil {
+		return fmt.Errorf("unknown app %q (have %s)", r.App, strings.Join(apps.Names(), ", "))
+	}
+	if r.N == 0 {
+		r.N = 16
+	}
+	if r.N < 1 || r.N > trace.MaxDecodeRanks {
+		return fmt.Errorf("n %d out of range [1, %d]", r.N, trace.MaxDecodeRanks)
+	}
+	if !app.ValidRanks(r.N) {
+		return fmt.Errorf("%s does not support %d ranks", r.App, r.N)
+	}
+	if r.Class == "" {
+		r.Class = "W"
+	}
+	if _, err := apps.ParseClass(r.Class); err != nil {
+		return fmt.Errorf("%v", err)
+	}
+	return nil
+}
+
+// Key returns the request's content address: a hex sha256 over the canonical
+// normalized form. Identical requests — including a byte-identical uploaded
+// trace — map to the same key, so the cache serves them without recompute;
+// any field that changes the generated artifact is part of the preimage.
+func (r *Request) Key() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "benchd/v1\napp=%s\nn=%d\nclass=%s\nmodel=%s\nlang=%s\n",
+		r.App, r.N, r.Class, r.Model, r.Lang)
+	if r.Trace == "" {
+		fmt.Fprintf(h, "trace=-\n")
+	} else {
+		th := sha256.Sum256([]byte(r.Trace))
+		fmt.Fprintf(h, "trace=%s\n", hex.EncodeToString(th[:]))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Result is the served artifact for one request: the generated benchmark
+// source together with the predicted per-rank virtual timing and the
+// mpiP-style profile of the generated benchmark's simulated execution. It
+// contains no wall-clock fields: a Result is a pure function of its Request,
+// which is what makes content-addressed caching sound.
+type Result struct {
+	// Key is the request's content address.
+	Key string `json:"key"`
+	// App echoes the requested app ("" for trace uploads).
+	App string `json:"app,omitempty"`
+	// N is the world size of the generated benchmark.
+	N int `json:"n"`
+	// Lang is the target language of Source.
+	Lang string `json:"lang"`
+	// Source is the generated benchmark program.
+	Source string `json:"source"`
+	// PerRankUS is each rank's predicted final virtual clock (microseconds)
+	// from executing the generated benchmark on the requested model.
+	PerRankUS []float64 `json:"per_rank_us"`
+	// ElapsedUS is the predicted virtual makespan.
+	ElapsedUS float64 `json:"elapsed_us"`
+	// Profile is the mpiP-style per-operation profile of the generated
+	// benchmark's execution.
+	Profile string `json:"profile"`
+	// TraceEvents and TraceNodes summarize the (compressed) input trace.
+	TraceEvents int `json:"trace_events"`
+	TraceNodes  int `json:"trace_nodes"`
+}

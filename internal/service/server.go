@@ -1,0 +1,392 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/telemetry"
+)
+
+var (
+	ctrJobsSubmitted = telemetry.NewCounter("service.jobs_submitted")
+	ctrJobsRejected  = telemetry.NewCounter("service.jobs_rejected_busy")
+	ctrJobsCached    = telemetry.NewCounter("service.jobs_served_cached")
+	gaugeQueueDepth  = telemetry.NewGauge("service.queue_depth")
+)
+
+// Config sizes the daemon. The zero value gets sensible defaults from
+// NewServer.
+type Config struct {
+	// Workers is the generation worker count (default: harness.Parallelism).
+	Workers int
+	// QueueDepth bounds the number of accepted-but-not-running jobs; a full
+	// queue rejects submissions with 429 and a Retry-After hint.
+	QueueDepth int
+	// CacheEntries bounds the in-memory result cache (default 64).
+	CacheEntries int
+	// CacheDir, when set, adds a persistent on-disk cache tier.
+	CacheDir string
+	// JobTimeout bounds each job's whole pipeline, traced run included
+	// (default 2 minutes). The timeout propagates into the simulated world,
+	// so a deadlocked or oversized job is torn down, not leaked.
+	JobTimeout time.Duration
+	// RetryAfter is the backoff hint attached to 429 responses (default 1s).
+	RetryAfter time.Duration
+}
+
+// Server is the benchd daemon: HTTP handlers over a bounded job pool and a
+// content-addressed result cache.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	pool  *harness.Pool
+	cache *cache
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string // job IDs in submission order, for GET /v1/jobs
+	jobSeq int
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	draining   bool
+	drained    chan struct{}
+	timeline   *telemetry.Timeline
+}
+
+// NewServer builds a ready-to-serve daemon. Callers wanting the telemetry
+// counters and region spans populated must telemetry.Enable() first (cmd/
+// benchd does).
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = harness.Parallelism()
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 4 * cfg.Workers
+	}
+	if cfg.CacheEntries <= 0 {
+		cfg.CacheEntries = 64
+	}
+	if cfg.JobTimeout <= 0 {
+		cfg.JobTimeout = 2 * time.Minute
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	c, err := newCache(cfg.CacheEntries, cfg.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		pool:       harness.NewPool(cfg.Workers, cfg.QueueDepth),
+		cache:      c,
+		jobs:       make(map[string]*Job),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		drained:    make(chan struct{}),
+		timeline:   telemetry.NewTimeline(),
+	}
+	telemetry.CaptureRegions(s.timeline)
+	s.mux = http.NewServeMux()
+	s.routes()
+	return s, nil
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/source", s.handleSource)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("POST /v1/generate", s.handleGenerate)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /timeline", s.handleTimeline)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+}
+
+// Handler returns the daemon's HTTP handler (one mux carries the job API,
+// /metrics, /timeline and /healthz).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// start admits one request: served from cache as a born-done job, or queued
+// on the pool. It returns the job and the HTTP status to respond with; on
+// admission failure the job is nil and err describes it.
+func (s *Server) start(req *Request) (*Job, int, error) {
+	if err := req.normalize(); err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	key := req.Key()
+	if res, tier := s.cache.get(key); res != nil {
+		job := s.register(req)
+		job.finishCached(res, tier)
+		ctrJobsCached.Inc()
+		return job, http.StatusOK, nil
+	}
+
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		return nil, http.StatusServiceUnavailable, errors.New("server is shutting down")
+	}
+
+	job := s.register(req)
+	jctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.JobTimeout)
+	job.mu.Lock()
+	job.cancel = cancel
+	job.mu.Unlock()
+
+	err := s.pool.Submit(jctx, func(ctx context.Context) {
+		defer cancel()
+		job.setRunning()
+		res, err := runPipeline(ctx, req, job.setStage)
+		if err == nil {
+			// A cache-write failure degrades to recompute-next-time; the
+			// client still gets its result.
+			_ = s.cache.put(key, res)
+		}
+		job.finish(res, err, errors.Is(err, context.Canceled))
+	})
+	if err != nil {
+		cancel()
+		s.unregister(job.id)
+		if errors.Is(err, harness.ErrQueueFull) {
+			ctrJobsRejected.Inc()
+			return nil, http.StatusTooManyRequests, err
+		}
+		return nil, http.StatusServiceUnavailable, err
+	}
+	ctrJobsSubmitted.Inc()
+	return job, http.StatusAccepted, nil
+}
+
+func (s *Server) register(req *Request) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.jobSeq++
+	job := newJob(fmt.Sprintf("j-%06d", s.jobSeq), req)
+	s.jobs[job.id] = job
+	s.order = append(s.order, job.id)
+	return job
+}
+
+func (s *Server) unregister(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.jobs, id)
+	for i, jid := range s.order {
+		if jid == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+}
+
+func (s *Server) job(id string) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	job, status, err := s.start(&req)
+	if err != nil {
+		if status == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	writeJSON(w, status, job.Status())
+}
+
+func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	job, status, err := s.start(&req)
+	if err != nil {
+		if status == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	select {
+	case <-job.Done():
+	case <-r.Context().Done():
+		// The client went away; stop paying for its job.
+		job.requestCancel()
+		<-job.Done()
+		return
+	}
+	res, jerr := job.Outcome()
+	if jerr != nil {
+		http.Error(w, jerr.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	out := make([]JobStatus, 0, len(s.order))
+	for _, id := range s.order {
+		if j := s.jobs[id]; j != nil {
+			out = append(out, j.Status())
+		}
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	job := s.job(r.PathValue("id"))
+	if job == nil {
+		http.Error(w, "no such job", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	job := s.job(r.PathValue("id"))
+	if job == nil {
+		http.Error(w, "no such job", http.StatusNotFound)
+		return
+	}
+	st := job.Status()
+	switch st.State {
+	case StateDone:
+		res, _ := job.Outcome()
+		writeJSON(w, http.StatusOK, res)
+	case StateFailed, StateCanceled:
+		http.Error(w, st.Error, http.StatusInternalServerError)
+	default:
+		// Not ready yet: report progress, not an error.
+		writeJSON(w, http.StatusAccepted, st)
+	}
+}
+
+func (s *Server) handleSource(w http.ResponseWriter, r *http.Request) {
+	job := s.job(r.PathValue("id"))
+	if job == nil {
+		http.Error(w, "no such job", http.StatusNotFound)
+		return
+	}
+	if job.Status().State != StateDone {
+		http.Error(w, "job not done", http.StatusConflict)
+		return
+	}
+	res, _ := job.Outcome()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, res.Source)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job := s.job(r.PathValue("id"))
+	if job == nil {
+		http.Error(w, "no such job", http.StatusNotFound)
+		return
+	}
+	if !job.requestCancel() {
+		writeJSON(w, http.StatusConflict, job.Status())
+		return
+	}
+	// Cancellation is asynchronous: a queued job's cancel takes effect when
+	// a worker dequeues it, so report the request as accepted and let the
+	// client poll for the terminal state rather than holding the handler.
+	select {
+	case <-job.Done():
+		writeJSON(w, http.StatusOK, job.Status())
+	case <-time.After(2 * time.Second):
+		writeJSON(w, http.StatusAccepted, job.Status())
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	gaugeQueueDepth.Set(int64(s.pool.QueueLen()))
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(telemetry.Default.Snapshot()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleTimeline(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.timeline.WriteChrome(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// Shutdown drains the daemon: new submissions are refused with 503, every
+// accepted job runs to completion, then the method returns. If ctx expires
+// first, the remaining jobs' contexts are cancelled — which tears down their
+// simulated worlds — and Shutdown still waits for the workers to unwind, so
+// no goroutine outlives the daemon either way. Shutdown is idempotent;
+// concurrent callers all block until the drain completes.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	first := !s.draining
+	s.draining = true
+	s.mu.Unlock()
+	if !first {
+		<-s.drained
+		return nil
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.pool.Drain()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.baseCancel()
+		<-done
+	}
+	s.baseCancel()
+	telemetry.CaptureRegions(nil)
+	close(s.drained)
+	return err
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func retryAfterSeconds(d time.Duration) string {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}

@@ -1,0 +1,359 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/conceptual"
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/netmodel"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+func TestMain(m *testing.M) {
+	// The cache-hit assertions read telemetry counters, which only record
+	// while telemetry is enabled.
+	telemetry.Enable()
+	os.Exit(m.Run())
+}
+
+// newTestServer stands up a daemon over httptest and returns a client bound
+// to it. The server is drained at cleanup so no job outlives its test.
+func newTestServer(t *testing.T, cfg Config) (*Server, *Client) {
+	t.Helper()
+	srv, err := NewServer(cfg)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		hs.Close()
+	})
+	return srv, &Client{BaseURL: hs.URL, PollInterval: 5 * time.Millisecond}
+}
+
+// cliArtifact reproduces exactly what `tracegen | benchgen` emits for an app:
+// trace the app, round-trip the trace through the codec (tracegen writes it,
+// benchgen reads it), generate with benchgen's comment line, render.
+func cliArtifact(t *testing.T, app string, n int, class apps.Class, model *netmodel.Model, lang string) string {
+	t.Helper()
+	run, err := harness.TraceApp(app, apps.NewConfig(n, class), model)
+	if err != nil {
+		t.Fatalf("TraceApp(%s): %v", app, err)
+	}
+	var buf bytes.Buffer
+	if err := trace.Encode(&buf, run.Trace); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	tr, err := trace.Decode(&buf)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	prog, err := core.Generate(tr, &core.Options{
+		Comments: []string{fmt.Sprintf("source trace: %d ranks, %d events", tr.N, tr.TotalEvents())},
+	})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	switch lang {
+	case "conceptual":
+		return conceptual.Print(prog)
+	case "c":
+		return conceptual.GenerateC(prog)
+	case "go":
+		src, err := core.GenerateGo(tr, nil)
+		if err != nil {
+			t.Fatalf("GenerateGo: %v", err)
+		}
+		return src
+	}
+	t.Fatalf("unknown lang %q", lang)
+	return ""
+}
+
+// TestServedArtifactMatchesCLI is the tentpole guarantee: for each app
+// kernel and target language, the daemon serves byte-identical source to
+// what the CLI pipeline produces.
+func TestServedArtifactMatchesCLI(t *testing.T) {
+	_, cl := newTestServer(t, Config{Workers: 2, QueueDepth: 8})
+	cases := []struct {
+		app  string
+		n    int
+		lang string
+	}{
+		{"ring", 8, "conceptual"},
+		{"ring", 8, "c"},
+		{"ring", 8, "go"},
+		{"pingpong", 2, "conceptual"},
+		{"halo2d", 16, "conceptual"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.app+"/"+tc.lang, func(t *testing.T) {
+			want := cliArtifact(t, tc.app, tc.n, apps.ClassS, netmodel.Preset("bluegene"), tc.lang)
+			res, err := cl.Generate(context.Background(),
+				&Request{App: tc.app, N: tc.n, Class: "S", Lang: tc.lang})
+			if err != nil {
+				t.Fatalf("Generate: %v", err)
+			}
+			if res.Source != want {
+				t.Fatalf("served source differs from CLI pipeline output\n--- served\n%s\n--- cli\n%s",
+					res.Source, want)
+			}
+			if res.N != tc.n || len(res.PerRankUS) != tc.n {
+				t.Fatalf("prediction covers %d ranks, want %d", len(res.PerRankUS), tc.n)
+			}
+			if res.ElapsedUS <= 0 {
+				t.Fatalf("predicted makespan %v, want > 0", res.ElapsedUS)
+			}
+			if !strings.Contains(res.Profile, "MPI_") && res.Profile == "" {
+				t.Fatalf("profile missing:\n%q", res.Profile)
+			}
+		})
+	}
+}
+
+// TestUploadedTraceMatchesCLI: uploading raw trace bytes must serve the same
+// source benchgen produces from the same bytes.
+func TestUploadedTraceMatchesCLI(t *testing.T) {
+	run, err := harness.TraceApp("ring", apps.NewConfig(8, apps.ClassS), netmodel.Preset("bluegene"))
+	if err != nil {
+		t.Fatalf("TraceApp: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := trace.Encode(&buf, run.Trace); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	raw := buf.String()
+
+	tr, err := trace.Decode(strings.NewReader(raw))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	prog, err := core.Generate(tr, &core.Options{
+		Comments: []string{fmt.Sprintf("source trace: %d ranks, %d events", tr.N, tr.TotalEvents())},
+	})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	want := conceptual.Print(prog)
+
+	_, cl := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	res, err := cl.Generate(context.Background(), &Request{Trace: raw})
+	if err != nil {
+		t.Fatalf("Generate(upload): %v", err)
+	}
+	if res.Source != want {
+		t.Fatalf("uploaded-trace source differs from benchgen output")
+	}
+	if res.App != "" {
+		t.Fatalf("upload result names app %q", res.App)
+	}
+}
+
+// TestCacheServesRepeatRequests: the second identical request is born done
+// from the memory tier without re-running the pipeline.
+func TestCacheServesRepeatRequests(t *testing.T) {
+	_, cl := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	req := &Request{App: "pingpong", N: 2, Class: "S"}
+
+	st, err := cl.Submit(context.Background(), req)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if st.Cached != "" {
+		t.Fatalf("first submission served from cache %q", st.Cached)
+	}
+	first, err := cl.Wait(context.Background(), st.ID)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+
+	runsBefore := ctrPipelineRuns.Value()
+	hitsBefore := ctrCacheHitsMem.Value()
+	st2, err := cl.Submit(context.Background(), req)
+	if err != nil {
+		t.Fatalf("Submit again: %v", err)
+	}
+	if st2.State != StateDone || st2.Cached != "mem" {
+		t.Fatalf("repeat submission state=%s cached=%q, want done from mem", st2.State, st2.Cached)
+	}
+	second, err := cl.Wait(context.Background(), st2.ID)
+	if err != nil {
+		t.Fatalf("Wait(cached): %v", err)
+	}
+	if second.Source != first.Source || second.Key != first.Key {
+		t.Fatalf("cached result differs from computed result")
+	}
+	if got := ctrPipelineRuns.Value(); got != runsBefore {
+		t.Fatalf("cache hit still ran the pipeline (%d -> %d runs)", runsBefore, got)
+	}
+	if got := ctrCacheHitsMem.Value(); got != hitsBefore+1 {
+		t.Fatalf("memory-tier hit counter %d -> %d, want +1", hitsBefore, got)
+	}
+}
+
+// TestDiskCacheSurvivesRestart: a fresh daemon over the same cache dir
+// serves the artifact from disk without recomputing.
+func TestDiskCacheSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	srv1, cl1 := newTestServer(t, Config{Workers: 1, QueueDepth: 4, CacheDir: dir})
+	req := &Request{App: "pingpong", N: 2, Class: "S"}
+	first, err := cl1.Generate(context.Background(), req)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	srv1.Shutdown(context.Background())
+
+	_, cl2 := newTestServer(t, Config{Workers: 1, QueueDepth: 4, CacheDir: dir})
+	runsBefore := ctrPipelineRuns.Value()
+	st, err := cl2.Submit(context.Background(), req)
+	if err != nil {
+		t.Fatalf("Submit after restart: %v", err)
+	}
+	if st.State != StateDone || st.Cached != "disk" {
+		t.Fatalf("restart submission state=%s cached=%q, want done from disk", st.State, st.Cached)
+	}
+	res, err := cl2.Wait(context.Background(), st.ID)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if res.Source != first.Source {
+		t.Fatalf("disk-tier result differs from original")
+	}
+	if got := ctrPipelineRuns.Value(); got != runsBefore {
+		t.Fatalf("disk hit still ran the pipeline")
+	}
+}
+
+// TestLRUEviction: the memory tier stays bounded.
+func TestLRUEviction(t *testing.T) {
+	c, err := newCache(2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		key := fmt.Sprintf("k%d", i)
+		c.put(key, &Result{Key: key})
+	}
+	if c.len() != 2 {
+		t.Fatalf("cache holds %d entries, want 2", c.len())
+	}
+	if res, _ := c.get("k0"); res != nil {
+		t.Fatalf("k0 should have been evicted")
+	}
+	if res, tier := c.get("k4"); res == nil || tier != "mem" {
+		t.Fatalf("k4 should be resident")
+	}
+}
+
+// TestRequestValidation covers the 400 paths and key stability.
+func TestRequestValidation(t *testing.T) {
+	_, cl := newTestServer(t, Config{Workers: 1, QueueDepth: 2})
+	bad := []*Request{
+		{},                                  // neither app nor trace
+		{App: "no-such-app", N: 4},          // unknown app
+		{App: "ring", N: 8, Lang: "rust"},   // unknown lang
+		{App: "ring", N: 8, Model: "wifi"},  // unknown model
+		{App: "ring", N: 8, Class: "Z"},     // unknown class
+		{App: "ring", N: 8, Trace: "x"},     // both app and trace
+		{Trace: "scalatrace-go 1\n", N: 4},  // n with upload
+		{App: "pingpong", N: 7, Class: "S"}, // invalid rank count for app
+	}
+	for i, req := range bad {
+		if _, err := cl.Submit(context.Background(), req); err == nil {
+			t.Fatalf("bad request %d accepted: %+v", i, req)
+		} else if !strings.Contains(err.Error(), "400") {
+			t.Fatalf("bad request %d: got %v, want a 400", i, err)
+		}
+	}
+
+	// A hostile upload passes admission (it is syntactically a request) but
+	// the job fails with the decoder's line-numbered error.
+	st, err := cl.Submit(context.Background(),
+		&Request{Trace: "scalatrace-go 1\nnprocs 99999999\n"})
+	if err != nil {
+		t.Fatalf("hostile upload rejected at admission: %v", err)
+	}
+	if _, err := cl.Wait(context.Background(), st.ID); err == nil {
+		t.Fatal("hostile upload produced a result")
+	} else if !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("job error %v does not carry the decoder's line number", err)
+	}
+
+	if _, err := cl.Status(context.Background(), "j-999999"); err == nil ||
+		!strings.Contains(err.Error(), "404") {
+		t.Fatalf("unknown job lookup: %v, want 404", err)
+	}
+
+	// Key is stable across normalization: explicit defaults hash like
+	// omitted ones.
+	a := &Request{App: "ring", N: 8}
+	b := &Request{App: "ring", N: 8, Class: "W", Model: "bluegene", Lang: "conceptual"}
+	if err := a.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Key() != b.Key() {
+		t.Fatalf("normalized keys differ: %s vs %s", a.Key(), b.Key())
+	}
+}
+
+// TestObservabilityEndpoints: /metrics, /timeline and the source endpoint
+// ride the same mux as the job API.
+func TestObservabilityEndpoints(t *testing.T) {
+	srv, cl := newTestServer(t, Config{Workers: 1, QueueDepth: 2})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	st, err := cl.Submit(context.Background(), &Request{App: "pingpong", N: 2, Class: "S"})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	res, err := cl.Wait(context.Background(), st.ID)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(hs.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return resp.StatusCode, buf.String()
+	}
+
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "service.jobs_submitted") {
+		t.Fatalf("/metrics: %d\n%s", code, body)
+	}
+	if code, body := get("/timeline"); code != 200 || !strings.Contains(body, "traceEvents") {
+		t.Fatalf("/timeline: %d\n%s", code, body)
+	}
+	if code, _ := get("/healthz"); code != 200 {
+		t.Fatalf("/healthz: %d", code)
+	}
+	if code, body := get("/v1/jobs/" + st.ID + "/source"); code != 200 || body != res.Source {
+		t.Fatalf("/source served %d bytes (code %d), want the exact artifact", len(body), code)
+	}
+	if code, body := get("/v1/jobs"); code != 200 || !strings.Contains(body, st.ID) {
+		t.Fatalf("/v1/jobs: %d\n%s", code, body)
+	}
+}

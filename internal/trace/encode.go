@@ -16,6 +16,30 @@ import (
 // formatVersion is the trace file format version.
 const formatVersion = 1
 
+// Decode bounds. benchd feeds user-supplied files straight into Decode, so
+// every count the format declares is validated against a hard ceiling before
+// any allocation proportional to it happens; a hostile header cannot make the
+// decoder allocate or loop unboundedly. The ceilings are far above anything
+// the pipeline produces (the largest in-repo traces are a few thousand
+// nodes), so legitimate traces are unaffected.
+const (
+	// MaxDecodeRanks bounds nprocs.
+	MaxDecodeRanks = 1 << 20
+	// MaxDecodeComms bounds the declared communicator count.
+	MaxDecodeComms = 1 << 16
+	// MaxDecodeGroups bounds the declared behaviour-group count.
+	MaxDecodeGroups = 1 << 16
+	// MaxDecodeNodes bounds the total node (record) count across the whole
+	// file, counting every declared loop body and top-level sequence.
+	MaxDecodeNodes = 1 << 22
+	// MaxDecodeLoopIters bounds a single loop's iteration count.
+	MaxDecodeLoopIters = 1 << 30
+	// MaxDecodeSize bounds a message/collective byte size.
+	MaxDecodeSize = 1 << 40
+	// MaxDecodeList bounds the entries in one counts/pvec/group vector.
+	MaxDecodeList = 1 << 20
+)
+
 // Encode writes the trace in the line-oriented scalatrace-go text format.
 func Encode(w io.Writer, t *Trace) error {
 	bw := bufio.NewWriter(w)
@@ -102,6 +126,9 @@ func parseInts(s string) ([]int, error) {
 		return nil, nil
 	}
 	parts := strings.Split(s, ",")
+	if len(parts) > MaxDecodeList {
+		return nil, fmt.Errorf("trace: int list has %d entries (max %d)", len(parts), MaxDecodeList)
+	}
 	out := make([]int, len(parts))
 	for i, p := range parts {
 		v, err := strconv.Atoi(p)
@@ -116,6 +143,10 @@ func parseInts(s string) ([]int, error) {
 type decoder struct {
 	sc   *bufio.Scanner
 	line int
+	// nodeBudget is the remaining number of nodes the file may declare;
+	// decremented as sequences are decoded so deeply nested or repeated
+	// loop headers cannot multiply past MaxDecodeNodes.
+	nodeBudget int
 }
 
 func (d *decoder) next() (string, error) {
@@ -137,9 +168,12 @@ func (d *decoder) errf(format string, args ...any) error {
 	return fmt.Errorf("trace: line %d: %s", d.line, fmt.Sprintf(format, args...))
 }
 
-// Decode reads a trace in the scalatrace-go text format.
+// Decode reads a trace in the scalatrace-go text format. Input is treated as
+// untrusted: every declared count is validated against the MaxDecode bounds
+// before the decoder allocates for it, and parse errors carry the offending
+// line number.
 func Decode(r io.Reader) (*Trace, error) {
-	d := &decoder{sc: bufio.NewScanner(r)}
+	d := &decoder{sc: bufio.NewScanner(r), nodeBudget: MaxDecodeNodes}
 	d.sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
 
 	header, err := d.next()
@@ -159,6 +193,9 @@ func Decode(r io.Reader) (*Trace, error) {
 	if _, err := fmt.Sscanf(line, "nprocs %d", &t.N); err != nil {
 		return nil, d.errf("bad nprocs line %q", line)
 	}
+	if t.N < 1 || t.N > MaxDecodeRanks {
+		return nil, d.errf("nprocs %d out of range [1, %d]", t.N, MaxDecodeRanks)
+	}
 
 	line, err = d.next()
 	if err != nil {
@@ -167,6 +204,9 @@ func Decode(r io.Reader) (*Trace, error) {
 	var ncomms int
 	if _, err := fmt.Sscanf(line, "comms %d", &ncomms); err != nil {
 		return nil, d.errf("bad comms line %q", line)
+	}
+	if ncomms < 0 || ncomms > MaxDecodeComms {
+		return nil, d.errf("comm count %d out of range [0, %d]", ncomms, MaxDecodeComms)
 	}
 	for i := 0; i < ncomms; i++ {
 		line, err = d.next()
@@ -185,6 +225,17 @@ func Decode(r io.Reader) (*Trace, error) {
 		if err != nil {
 			return nil, d.errf("%v", err)
 		}
+		if _, dup := t.Comms[id]; dup {
+			return nil, d.errf("duplicate comm id %d", id)
+		}
+		if len(group) > t.N {
+			return nil, d.errf("comm %d has %d members but nprocs is %d", id, len(group), t.N)
+		}
+		for _, wr := range group {
+			if wr < 0 || wr >= t.N {
+				return nil, d.errf("comm %d member %d outside world [0, %d)", id, wr, t.N)
+			}
+		}
 		t.Comms[id] = group
 	}
 
@@ -195,6 +246,9 @@ func Decode(r io.Reader) (*Trace, error) {
 	var ngroups int
 	if _, err := fmt.Sscanf(line, "groups %d", &ngroups); err != nil {
 		return nil, d.errf("bad groups line %q", line)
+	}
+	if ngroups < 0 || ngroups > MaxDecodeGroups {
+		return nil, d.errf("group count %d out of range [0, %d]", ngroups, MaxDecodeGroups)
 	}
 	for i := 0; i < ngroups; i++ {
 		line, err = d.next()
@@ -223,7 +277,22 @@ func Decode(r io.Reader) (*Trace, error) {
 }
 
 func (d *decoder) decodeSeq(n int) ([]Node, error) {
-	seq := make([]Node, 0, n)
+	if n < 0 {
+		return nil, d.errf("negative node count %d", n)
+	}
+	if n > d.nodeBudget {
+		return nil, d.errf("declared node count %d exceeds remaining budget %d (file max %d)",
+			n, d.nodeBudget, MaxDecodeNodes)
+	}
+	d.nodeBudget -= n
+	// Cap the pre-allocation: the declared count is within budget but not yet
+	// backed by actual input lines, so a lying header must not pre-size a
+	// large slice.
+	capHint := n
+	if capHint > 4096 {
+		capHint = 4096
+	}
+	seq := make([]Node, 0, capHint)
 	for i := 0; i < n; i++ {
 		line, err := d.next()
 		if err != nil {
@@ -234,6 +303,9 @@ func (d *decoder) decodeSeq(n int) ([]Node, error) {
 			var iters, nbody int
 			if _, err := fmt.Sscanf(line, "loop %d %d", &iters, &nbody); err != nil {
 				return nil, d.errf("bad loop line %q", line)
+			}
+			if iters < 0 || iters > MaxDecodeLoopIters {
+				return nil, d.errf("loop iteration count %d out of range [0, %d]", iters, MaxDecodeLoopIters)
 			}
 			body, err := d.decodeSeq(nbody)
 			if err != nil {
@@ -312,12 +384,18 @@ func (d *decoder) setRSDField(r *RSD, key, val string) error {
 		r.CommID, err = atoi()
 	case "csize":
 		r.CommSize, err = atoi()
+		if err == nil && (r.CommSize < 0 || r.CommSize > MaxDecodeRanks) {
+			return d.errf("csize %d out of range [0, %d]", r.CommSize, MaxDecodeRanks)
+		}
 	case "peer":
 		r.Peer, err = parseParam(val)
 	case "tag":
 		r.Tag, err = atoi()
 	case "size":
 		r.Size, err = atoi()
+		if err == nil && (r.Size < 0 || r.Size > MaxDecodeSize) {
+			return d.errf("size %d out of range [0, %d]", r.Size, int64(MaxDecodeSize))
+		}
 	case "root":
 		r.Root, err = atoi()
 	case "wildcard":
