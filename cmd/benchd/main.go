@@ -6,8 +6,8 @@
 // Usage:
 //
 //	benchd [-addr :8125] [-workers n] [-queue n]
-//	       [-cache-dir dir] [-cache-entries n]
-//	       [-job-timeout 2m] [-drain-timeout 30s]
+//	       [-cache-dir dir] [-cache-entries n] [-cache-disk-entries n]
+//	       [-job-history n] [-job-timeout 2m] [-drain-timeout 30s]
 //
 // Endpoints:
 //
@@ -49,7 +49,9 @@ func main() {
 		queue        = flag.Int("queue", 0, "job queue depth (default: 4x workers)")
 		cacheDir     = flag.String("cache-dir", "", "persistent result cache directory (empty: memory only)")
 		cacheEntries = flag.Int("cache-entries", 64, "in-memory result cache entries")
-		jobTimeout   = flag.Duration("job-timeout", 2*time.Minute, "per-job pipeline timeout")
+		cacheDisk    = flag.Int("cache-disk-entries", 512, "on-disk result cache entries (oldest pruned first)")
+		jobHistory   = flag.Int("job-history", 256, "finished jobs kept listable (oldest evicted first)")
+		jobTimeout   = flag.Duration("job-timeout", 2*time.Minute, "per-job pipeline timeout, measured from dequeue")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown drain window")
 	)
 	flag.Parse()
@@ -59,11 +61,13 @@ func main() {
 	telemetry.Enable()
 
 	srv, err := service.NewServer(service.Config{
-		Workers:      *workers,
-		QueueDepth:   *queue,
-		CacheDir:     *cacheDir,
-		CacheEntries: *cacheEntries,
-		JobTimeout:   *jobTimeout,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		CacheDir:         *cacheDir,
+		CacheEntries:     *cacheEntries,
+		CacheDiskEntries: *cacheDisk,
+		JobHistory:       *jobHistory,
+		JobTimeout:       *jobTimeout,
 	})
 	if err != nil {
 		fatal(err)

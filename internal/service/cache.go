@@ -6,28 +6,37 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/telemetry"
 )
 
 var (
-	ctrCacheHitsMem  = telemetry.NewCounter("service.cache_hits_mem")
-	ctrCacheHitsDisk = telemetry.NewCounter("service.cache_hits_disk")
-	ctrCacheMisses   = telemetry.NewCounter("service.cache_misses")
-	ctrCacheEvicted  = telemetry.NewCounter("service.cache_evictions")
+	ctrCacheHitsMem     = telemetry.NewCounter("service.cache_hits_mem")
+	ctrCacheHitsDisk    = telemetry.NewCounter("service.cache_hits_disk")
+	ctrCacheMisses      = telemetry.NewCounter("service.cache_misses")
+	ctrCacheEvicted     = telemetry.NewCounter("service.cache_evictions")
+	ctrCacheDiskEvicted = telemetry.NewCounter("service.cache_disk_evictions")
 )
 
 // cache is the content-addressed result store: an in-memory LRU of bounded
 // entry count fronting an optional on-disk store that survives restarts.
 // Because a Result is a pure function of its Request key, entries never
-// expire — an eviction only trades memory for a disk re-read.
+// expire — an eviction only trades memory for a disk re-read. The disk tier
+// is bounded too (diskEntries files, oldest-modified pruned first; a hit
+// refreshes its file's mtime), so a stream of distinct requests cannot grow
+// the cache directory without limit.
 type cache struct {
 	mu      sync.Mutex
 	entries int
 	order   *list.List               // front = most recently used
 	byKey   map[string]*list.Element // value: *cacheEntry
-	dir     string                   // "" disables the disk tier
+
+	dir         string // "" disables the disk tier
+	diskMu      sync.Mutex
+	diskEntries int
 }
 
 type cacheEntry struct {
@@ -35,9 +44,12 @@ type cacheEntry struct {
 	res *Result
 }
 
-func newCache(entries int, dir string) (*cache, error) {
+func newCache(entries int, dir string, diskEntries int) (*cache, error) {
 	if entries < 1 {
 		entries = 1
+	}
+	if diskEntries < 1 {
+		diskEntries = 1
 	}
 	if dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -45,7 +57,7 @@ func newCache(entries int, dir string) (*cache, error) {
 		}
 	}
 	return &cache{entries: entries, order: list.New(),
-		byKey: make(map[string]*list.Element), dir: dir}, nil
+		byKey: make(map[string]*list.Element), dir: dir, diskEntries: diskEntries}, nil
 }
 
 // get returns the cached result for key and which tier served it ("mem" or
@@ -66,6 +78,10 @@ func (c *cache) get(key string) (*Result, string) {
 		if err == nil {
 			var res Result
 			if json.Unmarshal(data, &res) == nil && res.Key == key {
+				// Refresh the file's mtime so disk pruning approximates LRU
+				// rather than FIFO; best-effort, a failure just ages the entry.
+				now := time.Now()
+				_ = os.Chtimes(c.diskPath(key), now, now)
 				c.putMem(key, &res)
 				ctrCacheHitsDisk.Inc()
 				return &res, "disk"
@@ -104,7 +120,45 @@ func (c *cache) put(key string, res *Result) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("service: cache write: %w", err)
 	}
+	c.pruneDisk()
 	return nil
+}
+
+// pruneDisk bounds the on-disk tier: when the directory holds more than
+// diskEntries cached results, the oldest-modified ones are removed first.
+// Best-effort throughout — pruning competes with concurrent puts and external
+// cleanup, and losing a cache file only costs a future recompute.
+func (c *cache) pruneDisk() {
+	c.diskMu.Lock()
+	defer c.diskMu.Unlock()
+	ents, err := os.ReadDir(c.dir)
+	if err != nil {
+		return
+	}
+	type aged struct {
+		name string
+		mod  time.Time
+	}
+	var files []aged
+	for _, e := range ents {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".json" {
+			continue // leave in-flight put-*.tmp files alone
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		files = append(files, aged{e.Name(), info.ModTime()})
+	}
+	if len(files) <= c.diskEntries {
+		return
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mod.Before(files[j].mod) })
+	for _, f := range files[:len(files)-c.diskEntries] {
+		if os.Remove(filepath.Join(c.dir, f.name)) == nil {
+			ctrCacheDiskEvicted.Inc()
+		}
+	}
 }
 
 func (c *cache) putMem(key string, res *Result) {

@@ -64,6 +64,17 @@ func (j *Job) Status() JobStatus {
 // Done returns the channel closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
 
+// terminal reports whether the job has reached done/failed/canceled.
+func (j *Job) terminal() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case StateDone, StateFailed, StateCanceled:
+		return true
+	}
+	return false
+}
+
 // Outcome returns the terminal result or error; call only after Done.
 func (j *Job) Outcome() (*Result, error) {
 	j.mu.Lock()
@@ -95,6 +106,9 @@ func (j *Job) finish(res *Result, err error, canceled bool) {
 		return
 	}
 	j.stage = ""
+	// The upload payload (and its decode) is only needed while the pipeline
+	// runs; a retained terminal job keeps its Result, not the input bytes.
+	j.req.release()
 	switch {
 	case canceled:
 		j.state = StateCanceled
@@ -119,6 +133,7 @@ func (j *Job) finishCached(res *Result, tier string) {
 	j.state = StateDone
 	j.cached = tier
 	j.res = res
+	j.req.release()
 	close(j.done)
 }
 

@@ -4,7 +4,6 @@ import (
 	"bytes"
 	"context"
 	"fmt"
-	"strings"
 
 	"repro/internal/apps"
 	"repro/internal/conceptual"
@@ -21,6 +20,10 @@ var (
 	ctrPipelineRuns   = telemetry.NewCounter("service.pipeline_runs")
 	ctrPipelineErrors = telemetry.NewCounter("service.pipeline_errors")
 )
+
+// runPipelineFn is the indirection the server calls; tests swap it to inject
+// pipeline failures and panics without standing up a hostile workload.
+var runPipelineFn = runPipeline
 
 // Pipeline stage names, in execution order. They double as job progress
 // labels and as telemetry region names, so a job's current stage is visible
@@ -140,11 +143,15 @@ func obtainTrace(ctx context.Context, req *Request, model *netmodel.Model, progr
 	defer telemetry.Region(StageTrace)()
 
 	if req.Trace != "" {
-		tr, err := trace.Decode(strings.NewReader(req.Trace))
-		if err != nil {
-			return nil, fmt.Errorf("uploaded trace: %w", err)
+		// The server validates uploads at admission (and keeps the decode);
+		// re-validate here so a direct runPipeline caller gets the same
+		// runnable-size guarantee before a world is built.
+		if req.decoded == nil {
+			if err := req.validateTrace(); err != nil {
+				return nil, err
+			}
 		}
-		return tr, nil
+		return req.decoded, nil
 	}
 
 	class, err := apps.ParseClass(req.Class)

@@ -18,6 +18,13 @@ import (
 	"repro/internal/trace"
 )
 
+// MaxRunnableRanks caps the world size the daemon will simulate. The trace
+// codec's own bound (trace.MaxDecodeRanks) only protects the parser; running
+// a simulated world costs n goroutines plus an n*n mailbox index slab, so a
+// hostile few-byte upload declaring a huge nprocs must be refused at
+// admission, not discovered as an allocation failure inside a worker.
+const MaxRunnableRanks = 4096
+
 // Request is one benchmark-generation request. Exactly one of App or Trace
 // must be set: App names a workload from the built-in suite to trace first,
 // Trace supplies a raw scalatrace-go trace (the text format) directly.
@@ -36,6 +43,11 @@ type Request struct {
 	// Trace is a raw scalatrace-go trace document; mutually exclusive with
 	// App. It is decoded under the trace package's untrusted-input bounds.
 	Trace string `json:"trace,omitempty"`
+
+	// decoded holds the upload's validated decode, populated at admission by
+	// validateTrace so the pipeline does not parse the document twice. It is
+	// dropped (with Trace) when the job reaches a terminal state.
+	decoded *trace.Trace
 }
 
 // normalize applies defaults and validates the request, returning a
@@ -78,8 +90,8 @@ func (r *Request) normalize() error {
 	if r.N == 0 {
 		r.N = 16
 	}
-	if r.N < 1 || r.N > trace.MaxDecodeRanks {
-		return fmt.Errorf("n %d out of range [1, %d]", r.N, trace.MaxDecodeRanks)
+	if r.N < 1 || r.N > MaxRunnableRanks {
+		return fmt.Errorf("n %d out of range [1, %d]", r.N, MaxRunnableRanks)
 	}
 	if !app.ValidRanks(r.N) {
 		return fmt.Errorf("%s does not support %d ranks", r.App, r.N)
@@ -91,6 +103,30 @@ func (r *Request) normalize() error {
 		return fmt.Errorf("%v", err)
 	}
 	return nil
+}
+
+// validateTrace decodes an uploaded trace under the codec's untrusted-input
+// bounds and caps its world size at MaxRunnableRanks, so both a malformed
+// document and a parser-safe-but-unrunnable one are refused at admission
+// (served as 400) instead of failing — or OOMing — inside a worker. The
+// decode is kept on the request for the pipeline to reuse.
+func (r *Request) validateTrace() error {
+	tr, err := trace.Decode(strings.NewReader(r.Trace))
+	if err != nil {
+		return fmt.Errorf("uploaded trace: %w", err)
+	}
+	if tr.N > MaxRunnableRanks {
+		return fmt.Errorf("uploaded trace declares %d ranks; this daemon runs at most %d", tr.N, MaxRunnableRanks)
+	}
+	r.decoded = tr
+	return nil
+}
+
+// release drops the upload payload and its decode once the job no longer
+// needs them, so a retained terminal job does not pin the raw trace bytes.
+func (r *Request) release() {
+	r.Trace = ""
+	r.decoded = nil
 }
 
 // Key returns the request's content address: a hex sha256 over the canonical

@@ -97,6 +97,38 @@ func TestSaturationBackpressure(t *testing.T) {
 	}
 }
 
+// TestQueueWaitDoesNotConsumeTimeout: the JobTimeout budget starts when a
+// worker dequeues the job, not at submission — a quick job stuck behind a
+// slow one for longer than the whole budget still completes, while the slow
+// job itself is killed by its own (dequeue-anchored) deadline.
+func TestQueueWaitDoesNotConsumeTimeout(t *testing.T) {
+	_, cl := newTestServer(t, Config{Workers: 1, QueueDepth: 2,
+		JobTimeout: 500 * time.Millisecond})
+
+	slow, err := cl.Submit(context.Background(), hugeTraceRequest(201))
+	if err != nil {
+		t.Fatalf("Submit slow: %v", err)
+	}
+	waitState(t, cl, slow.ID, StateRunning)
+
+	quick, err := cl.Submit(context.Background(), quickTraceRequest(202))
+	if err != nil {
+		t.Fatalf("Submit quick: %v", err)
+	}
+
+	// The slow job burns its entire budget while the quick one waits in the
+	// queue; under submission-anchored timeouts the quick job would be
+	// dequeued with its deadline already spent.
+	waitState(t, cl, slow.ID, StateFailed)
+	st, _ := cl.Status(context.Background(), slow.ID)
+	if !strings.Contains(st.Error, "deadline") {
+		t.Fatalf("slow job error %q, want its own deadline exceeded", st.Error)
+	}
+	if _, err := cl.Wait(context.Background(), quick.ID); err != nil {
+		t.Fatalf("quick job failed after queue wait exceeding JobTimeout: %v", err)
+	}
+}
+
 // TestGracefulDrainLosesNothing: Shutdown refuses new work but every
 // accepted job runs to completion and its result stays retrievable.
 func TestGracefulDrainLosesNothing(t *testing.T) {

@@ -18,6 +18,7 @@ var (
 	ctrJobsSubmitted = telemetry.NewCounter("service.jobs_submitted")
 	ctrJobsRejected  = telemetry.NewCounter("service.jobs_rejected_busy")
 	ctrJobsCached    = telemetry.NewCounter("service.jobs_served_cached")
+	ctrJobsEvicted   = telemetry.NewCounter("service.jobs_evicted")
 	gaugeQueueDepth  = telemetry.NewGauge("service.queue_depth")
 )
 
@@ -33,9 +34,19 @@ type Config struct {
 	CacheEntries int
 	// CacheDir, when set, adds a persistent on-disk cache tier.
 	CacheDir string
-	// JobTimeout bounds each job's whole pipeline, traced run included
-	// (default 2 minutes). The timeout propagates into the simulated world,
-	// so a deadlocked or oversized job is torn down, not leaked.
+	// CacheDiskEntries bounds the on-disk tier's file count (default 512);
+	// the oldest entries are pruned first. Ignored when CacheDir is empty.
+	CacheDiskEntries int
+	// JobHistory bounds how many finished (done/failed/canceled) jobs stay
+	// listable (default 256); the oldest are evicted first, so the job table
+	// cannot grow without bound in a long-running daemon. Queued and running
+	// jobs are never evicted and do not count against the bound.
+	JobHistory int
+	// JobTimeout bounds each job's pipeline, traced run included (default
+	// 2 minutes), measured from when a worker dequeues the job — time spent
+	// queued behind other work never consumes the budget. The timeout
+	// propagates into the simulated world, so a deadlocked or oversized job
+	// is torn down, not leaked.
 	JobTimeout time.Duration
 	// RetryAfter is the backoff hint attached to 429 responses (default 1s).
 	RetryAfter time.Duration
@@ -74,13 +85,19 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.CacheEntries <= 0 {
 		cfg.CacheEntries = 64
 	}
+	if cfg.CacheDiskEntries <= 0 {
+		cfg.CacheDiskEntries = 512
+	}
+	if cfg.JobHistory <= 0 {
+		cfg.JobHistory = 256
+	}
 	if cfg.JobTimeout <= 0 {
 		cfg.JobTimeout = 2 * time.Minute
 	}
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = time.Second
 	}
-	c, err := newCache(cfg.CacheEntries, cfg.CacheDir)
+	c, err := newCache(cfg.CacheEntries, cfg.CacheDir, cfg.CacheDiskEntries)
 	if err != nil {
 		return nil, err
 	}
@@ -135,6 +152,15 @@ func (s *Server) start(req *Request) (*Job, int, error) {
 		return job, http.StatusOK, nil
 	}
 
+	// Uploads are fully validated (decoded, world size capped) before a job
+	// exists for them, so an unrunnable trace is a 400 at admission, never a
+	// multi-gigabyte allocation inside a worker.
+	if req.Trace != "" {
+		if err := req.validateTrace(); err != nil {
+			return nil, http.StatusBadRequest, err
+		}
+	}
+
 	s.mu.Lock()
 	draining := s.draining
 	s.mu.Unlock()
@@ -143,15 +169,28 @@ func (s *Server) start(req *Request) (*Job, int, error) {
 	}
 
 	job := s.register(req)
-	jctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.JobTimeout)
+	// The job context is cancel-only; the pipeline deadline is applied when a
+	// worker picks the job up, so queue wait never consumes the budget.
+	jctx, cancel := context.WithCancel(s.baseCtx)
 	job.mu.Lock()
 	job.cancel = cancel
 	job.mu.Unlock()
 
 	err := s.pool.Submit(jctx, func(ctx context.Context) {
 		defer cancel()
+		// The pool contains panics to keep its worker alive, but it cannot
+		// finish the job; without this, a panicking pipeline would leave the
+		// job "running" forever and wedge every waiter on job.Done.
+		defer func() {
+			if r := recover(); r != nil {
+				job.finish(nil, fmt.Errorf("job panicked: %v", r), false)
+				panic(r) // re-panic so the pool still counts and logs it
+			}
+		}()
 		job.setRunning()
-		res, err := runPipeline(ctx, req, job.setStage)
+		rctx, rcancel := context.WithTimeout(ctx, s.cfg.JobTimeout)
+		defer rcancel()
+		res, err := runPipelineFn(rctx, req, job.setStage)
 		if err == nil {
 			// A cache-write failure degrades to recompute-next-time; the
 			// client still gets its result.
@@ -179,7 +218,32 @@ func (s *Server) register(req *Request) *Job {
 	job := newJob(fmt.Sprintf("j-%06d", s.jobSeq), req)
 	s.jobs[job.id] = job
 	s.order = append(s.order, job.id)
+	s.evictLocked()
 	return job
+}
+
+// evictLocked bounds the retained job table: once more than cfg.JobHistory
+// terminal jobs are held, the oldest terminal ones are dropped (their trace
+// payloads were already released at finish). Live jobs are never touched, so
+// an accepted job can always be polled to completion. Called with s.mu held.
+func (s *Server) evictLocked() {
+	terminal := 0
+	for _, id := range s.order {
+		if s.jobs[id].terminal() {
+			terminal++
+		}
+	}
+	for i := 0; terminal > s.cfg.JobHistory && i < len(s.order); {
+		id := s.order[i]
+		if !s.jobs[id].terminal() {
+			i++
+			continue
+		}
+		delete(s.jobs, id)
+		s.order = append(s.order[:i], s.order[i+1:]...)
+		terminal--
+		ctrJobsEvicted.Inc()
+	}
 }
 
 func (s *Server) unregister(id string) {

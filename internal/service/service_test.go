@@ -240,7 +240,7 @@ func TestDiskCacheSurvivesRestart(t *testing.T) {
 
 // TestLRUEviction: the memory tier stays bounded.
 func TestLRUEviction(t *testing.T) {
-	c, err := newCache(2, "")
+	c, err := newCache(2, "", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -280,17 +280,27 @@ func TestRequestValidation(t *testing.T) {
 		}
 	}
 
-	// A hostile upload passes admission (it is syntactically a request) but
-	// the job fails with the decoder's line-numbered error.
-	st, err := cl.Submit(context.Background(),
+	// A hostile upload is refused at admission with the decoder's
+	// line-numbered error — no job ever exists for it.
+	_, err := cl.Submit(context.Background(),
 		&Request{Trace: "scalatrace-go 1\nnprocs 99999999\n"})
-	if err != nil {
-		t.Fatalf("hostile upload rejected at admission: %v", err)
+	if err == nil {
+		t.Fatal("hostile upload accepted")
 	}
-	if _, err := cl.Wait(context.Background(), st.ID); err == nil {
-		t.Fatal("hostile upload produced a result")
-	} else if !strings.Contains(err.Error(), "line 2") {
-		t.Fatalf("job error %v does not carry the decoder's line number", err)
+	if !strings.Contains(err.Error(), "400") || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("hostile upload: %v, want a 400 carrying the decoder's line number", err)
+	}
+
+	// A parser-safe upload whose declared world is too large to simulate is
+	// refused too: the decode bound protects the parser, MaxRunnableRanks
+	// protects the simulator (a 2^20-rank world would be a ~4 TiB slab).
+	_, err = cl.Submit(context.Background(),
+		&Request{Trace: fmt.Sprintf("scalatrace-go 1\nnprocs %d\ncomms 0\ngroups 0\n", MaxRunnableRanks+1)})
+	if err == nil {
+		t.Fatal("oversized-world upload accepted")
+	}
+	if !strings.Contains(err.Error(), "400") || !strings.Contains(err.Error(), "at most") {
+		t.Fatalf("oversized-world upload: %v, want a 400 naming the runnable cap", err)
 	}
 
 	if _, err := cl.Status(context.Background(), "j-999999"); err == nil ||
@@ -310,6 +320,123 @@ func TestRequestValidation(t *testing.T) {
 	}
 	if a.Key() != b.Key() {
 		t.Fatalf("normalized keys differ: %s vs %s", a.Key(), b.Key())
+	}
+}
+
+// quickTraceRequest returns a tiny 2-rank one-barrier upload whose whole
+// pipeline completes in milliseconds; site differentiates the trace bytes so
+// each request gets its own cache key (and so its own pipeline run).
+func quickTraceRequest(site int) *Request {
+	return &Request{Trace: fmt.Sprintf("scalatrace-go 1\n"+
+		"nprocs 2\ncomms 0\ngroups 1\ngroup 0:1 1\n"+
+		"rsd op=Barrier site=%d ranks=0:1 comm=0 csize=2 peer=- tag=0 size=0 root=-1\n", site)}
+}
+
+// TestJobPanicContained: a panic inside the pipeline must land the job in
+// "failed" (so Done-waiters unblock and the synchronous endpoint returns 500)
+// instead of leaving it "running" forever, and must not cost the pool its
+// worker.
+func TestJobPanicContained(t *testing.T) {
+	orig := runPipelineFn
+	runPipelineFn = func(context.Context, *Request, func(string)) (*Result, error) {
+		panic("injected pipeline panic")
+	}
+	defer func() { runPipelineFn = orig }()
+
+	_, cl := newTestServer(t, Config{Workers: 1, QueueDepth: 2})
+	st, err := cl.Submit(context.Background(), quickTraceRequest(500))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := cl.Wait(ctx, st.ID); err == nil {
+		t.Fatal("panicking job produced a result")
+	} else if !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("panicking job: %v, want the panic surfaced as the job error", err)
+	}
+	if got, _ := cl.Status(context.Background(), st.ID); got.State != StateFailed {
+		t.Fatalf("panicking job state %s, want failed", got.State)
+	}
+
+	// The synchronous endpoint must not hang on a panicking job either.
+	if _, err := cl.Generate(ctx, quickTraceRequest(501)); err == nil {
+		t.Fatal("synchronous generate of a panicking job succeeded")
+	}
+
+	// The worker survived the panic: real work still completes.
+	runPipelineFn = orig
+	if _, err := cl.Generate(ctx, quickTraceRequest(502)); err != nil {
+		t.Fatalf("post-panic Generate: %v", err)
+	}
+}
+
+// TestJobHistoryBounded: terminal jobs are evicted oldest-first past the
+// JobHistory bound, and a retained terminal job no longer pins its upload
+// payload.
+func TestJobHistoryBounded(t *testing.T) {
+	srv, cl := newTestServer(t, Config{Workers: 1, QueueDepth: 8, JobHistory: 2})
+	var ids []string
+	for i := 0; i < 5; i++ {
+		st, err := cl.Submit(context.Background(), quickTraceRequest(600+i))
+		if err != nil {
+			t.Fatalf("Submit #%d: %v", i, err)
+		}
+		if _, err := cl.Wait(context.Background(), st.ID); err != nil {
+			t.Fatalf("Wait #%d: %v", i, err)
+		}
+		ids = append(ids, st.ID)
+	}
+
+	// Eviction runs at registration, so at most JobHistory finished jobs plus
+	// the most recent one are retained.
+	srv.mu.Lock()
+	retained := len(srv.order)
+	srv.mu.Unlock()
+	if retained > 3 {
+		t.Fatalf("%d jobs retained, want at most JobHistory+1 = 3", retained)
+	}
+	if _, err := cl.Status(context.Background(), ids[0]); err == nil ||
+		!strings.Contains(err.Error(), "404") {
+		t.Fatalf("oldest job lookup: %v, want 404 after eviction", err)
+	}
+	last := srv.job(ids[len(ids)-1])
+	if last == nil {
+		t.Fatal("newest job evicted")
+	}
+	if last.req.Trace != "" || last.req.decoded != nil {
+		t.Fatal("terminal job still pins its upload payload")
+	}
+}
+
+// TestDiskCachePruned: the on-disk tier stays bounded, dropping the
+// oldest-modified entries first.
+func TestDiskCachePruned(t *testing.T) {
+	dir := t.TempDir()
+	c, err := newCache(1, dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if err := c.put(key, &Result{Key: key}); err != nil {
+			t.Fatalf("put %s: %v", key, err)
+		}
+		// Distinct mtimes keep the oldest-first order unambiguous.
+		time.Sleep(10 * time.Millisecond)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 2 {
+		t.Fatalf("disk tier holds %d files, want 2", len(ents))
+	}
+	if res, _ := c.get("k0"); res != nil {
+		t.Fatal("k0 should have been pruned from disk")
+	}
+	if res, tier := c.get("k3"); res == nil || tier != "disk" {
+		t.Fatalf("k3: res=%v tier=%q, want a disk hit", res, tier)
 	}
 }
 
