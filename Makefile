@@ -1,19 +1,23 @@
 GO ?= go
 
-.PHONY: test check bench bench-all race timeline serve
+.PHONY: test check bench bench6 bench-all race timeline serve
 
 test:
 	$(GO) test ./...
 
 # check is the pre-commit gate: static analysis, the race detector over the
 # concurrent subsystems — the parallel trace pipeline, the simulated MPI
-# transport (including the atomic combining barrier), the compiled
-# coNCePTuaL interpreter, the harness worker pool, the telemetry registry
-# and the benchd service — plus a short fuzz pass over the untrusted-upload
-# trace decoder.
+# transport (the discrete-event scheduler's token handoff and the goroutine
+# runtime's atomic combining barrier), the compiled coNCePTuaL interpreter,
+# the harness worker pool, the telemetry registry and the benchd service —
+# the differential suite that pins the event engine, the goroutine runtime
+# and the reference collectives to bit-identical traces and clocks, also
+# under -race, plus a short fuzz pass over the untrusted-upload trace
+# decoder.
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/trace/... ./internal/mpi/... ./internal/conceptual/... ./internal/harness/... ./internal/telemetry/... ./internal/service/...
+	$(GO) test -race -run 'TestEventEngineMatchesGoroutineRuntime|TestRunToRunDeterminism' .
 	$(GO) test -run NONE -fuzz FuzzDecode -fuzztime 10s ./internal/trace/
 
 race:
@@ -30,6 +34,20 @@ bench:
 		-benchtime 60x -benchmem . | tee /dev/stderr | \
 		$(GO) run ./cmd/benchjson -merge BENCH_3.json > BENCH_3.json.tmp
 	mv BENCH_3.json.tmp BENCH_3.json
+
+# bench6 refreshes BENCH_6.json, the discrete-event scheduler baseline: the
+# 1k -> 256k rank-scaling curve (one world per point — a 262144-rank world is
+# tens of seconds, so -benchtime 1x) and the incast contention series at
+# GOMAXPROCS 1 and 4, whose engine_speedups ratios record how far the
+# goroutine runtime's condvar broadcast storms fall behind the event engine
+# once more than one P is in play. Two invocations merge into one document.
+bench6:
+	$(GO) test -run NONE -bench BenchmarkRankScaling -benchtime 1x -benchmem -timeout 30m . \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson -series -merge BENCH_6.json > BENCH_6.json.tmp
+	mv BENCH_6.json.tmp BENCH_6.json
+	$(GO) test -run NONE -bench BenchmarkIncastContention -benchtime 3x -cpu 1,4 -benchmem -timeout 30m . \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson -series -merge BENCH_6.json > BENCH_6.json.tmp
+	mv BENCH_6.json.tmp BENCH_6.json
 
 # bench-all runs the full evaluation-reproduction suite without touching the
 # recorded baseline.

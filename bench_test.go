@@ -461,6 +461,127 @@ func BenchmarkRunWorld(b *testing.B) {
 	}
 }
 
+// rankScalingBody is the BenchmarkRankScaling workload: a fixed number of
+// nearest-neighbor ring exchange + collective steps, so per-rank work is
+// constant and wall clock isolates how the runtime itself scales with world
+// size. Kept lighter than runWorldBody because one iteration runs worlds up
+// to 262144 ranks.
+func rankScalingBody(n int) func(*mpi.Rank) {
+	return func(r *mpi.Rank) {
+		w := r.World()
+		for i := 0; i < 4; i++ {
+			peer := (r.Rank() + 1) % n
+			from := (r.Rank() + n - 1) % n
+			sreq := r.Isend(w, peer, i, 1024)
+			rreq := r.Irecv(w, from, i, 1024)
+			r.Waitall(rreq, sreq)
+			r.Compute(5)
+			r.Allreduce(w, 8)
+		}
+		r.Barrier(w)
+	}
+}
+
+// rankScalingEventSizes is the 1k -> 256k curve the discrete-event engine is
+// measured on; the goroutine runtime is measured up to 65536 (a 262144-rank
+// world spawns 262144 concurrent goroutines, which the benchmark host may
+// not have memory headroom for; the event engine's token discipline keeps
+// all but one of them parked from the Go scheduler's point of view).
+var (
+	rankScalingEventSizes     = []int{1024, 4096, 16384, 65536, 262144}
+	rankScalingGoroutineSizes = []int{1024, 4096, 16384, 65536}
+)
+
+// BenchmarkRankScaling records the rank-scaling curve behind BENCH_6.json
+// and service.MaxRunnableRanks: ns/op and allocs/op versus world size for
+// the discrete-event engine (1k -> 256k ranks) and the goroutine runtime at
+// the sizes it can reach. Run via `make bench6` with -benchtime=1x: one
+// world per data point, since a 262144-rank world is tens of seconds.
+func BenchmarkRankScaling(b *testing.B) {
+	for _, n := range rankScalingEventSizes {
+		b.Run(fmt.Sprintf("event-%dranks", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := mpi.Run(n, netmodel.BlueGeneL(), rankScalingBody(n)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	for _, n := range rankScalingGoroutineSizes {
+		b.Run(fmt.Sprintf("goroutine-%dranks", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := mpi.Run(n, netmodel.BlueGeneL(), rankScalingBody(n),
+					mpi.WithGoroutineRuntime()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// incastBody is the BenchmarkIncastContention workload: every rank streams k
+// eager messages at rank 0 — the master/worker shape whose flow-control
+// stalls are the goroutine runtime's worst case. Each stalled sender parks
+// on rank 0's mailbox condvar, every drain broadcasts to all of them, and on
+// a multicore host (GOMAXPROCS > 1) those wakeups are cross-thread futex
+// traffic on one contended mutex. The event engine keeps one credit waiter
+// per source slot and wakes exactly the sender a drain releases, so its cost
+// is flat in GOMAXPROCS. With wildcard set, rank 0 receives with AnySource
+// instead of cycling the sources — the paper's §4.4 pattern — exercising the
+// mailbox's wildcard candidate heap against a standing unexpected backlog.
+func incastBody(k, size int, wildcard bool) func(*mpi.Rank) {
+	return func(r *mpi.Rank) {
+		w := r.World()
+		n := r.Size()
+		if r.Rank() == 0 {
+			if wildcard {
+				for i := 0; i < (n-1)*k; i++ {
+					r.Recv(w, mpi.AnySource, 0, size)
+				}
+			} else {
+				for i := 0; i < k; i++ {
+					for s := 1; s < n; s++ {
+						r.Recv(w, s, 0, size)
+					}
+				}
+			}
+		} else {
+			for i := 0; i < k; i++ {
+				r.Send(w, 0, 0, size)
+			}
+		}
+	}
+}
+
+// BenchmarkIncastContention is the second BENCH_6.json series: the incast
+// ratio between engines versus GOMAXPROCS (run with -cpu 1,4). At one P the
+// engines differ only modestly — a solo P never contends — which is exactly
+// the point: the goroutine runtime's collapse is a concurrency artifact, not
+// model work, and the event engine sheds it structurally.
+func BenchmarkIncastContention(b *testing.B) {
+	for _, n := range []int{1024, 4096} {
+		for _, shape := range []string{"direct", "wildcard"} {
+			for _, eng := range []string{"event", "goroutine"} {
+				b.Run(fmt.Sprintf("%s-%s-%dranks", eng, shape, n), func(b *testing.B) {
+					b.ReportAllocs()
+					var opts []mpi.Option
+					if eng == "goroutine" {
+						opts = append(opts, mpi.WithGoroutineRuntime())
+					}
+					for i := 0; i < b.N; i++ {
+						if _, err := mpi.Run(n, netmodel.BlueGeneL(),
+							incastBody(128, 256, shape == "wildcard"), opts...); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
 // BenchmarkInterpExecute measures coNCePTuaL program execution on the
 // compiled closure tree (the default) against the tree-walking reference, on
 // a program large enough that per-iteration statement dispatch dominates.

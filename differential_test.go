@@ -14,25 +14,40 @@ import (
 )
 
 // wildcardApps names the kernels whose receives use MPI_ANY_SOURCE — the
-// paper's Section 4.4 nondeterminism case. For them, which in-flight message
-// matches a wildcard receive depends on physical arrival order (the same
-// run-to-run variance the seed runtime exhibits), so per-rank clocks can
-// differ by a fraction of a microsecond between any two runs regardless of
-// runtime implementation. Their traces are still byte-identical (wildcard
-// sources are normalized to ANY) and their clocks must agree within the
-// race's tiny envelope; every other kernel must match bit for bit.
+// paper's Section 4.4 nondeterminism case. Under the goroutine runtime,
+// which in-flight message matches a wildcard receive depends on physical
+// arrival order, so its per-rank clocks can differ by a fraction of a
+// microsecond from run to run; the event engine resolves the same wildcards
+// in virtual-time order and is exactly reproducible. Cross-engine clock
+// comparisons for these kernels therefore use a small relative tolerance,
+// while their traces stay byte-identical (wildcard sources are normalized
+// to ANY) and every other kernel must match bit for bit on all engines.
 var wildcardApps = map[string]bool{"lu": true}
 
-// TestFastRuntimeMatchesReference is the differential proof behind the
-// runtime fast path: every application kernel, run once on the default
-// runtime (atomic combining barrier, indexed mailbox fast path, arena
-// allocation) and once with WithReferenceCollectives (the original
-// mutex+cond rendezvous), must produce bit-identical per-rank virtual clocks
-// and a byte-identical encoded trace. The collective cost model receives the
-// same maximum arrival front either way — max is order-independent and the
-// striped fold performs the same float comparisons — so any divergence is a
-// bug, not noise.
-func TestFastRuntimeMatchesReference(t *testing.T) {
+// engineVariants are the three runtimes the differential suite compares:
+// the discrete-event engine (the default), the goroutine-per-rank runtime
+// with the atomic combining barrier, and the goroutine runtime with the
+// mutex+cond reference collectives. The first entry is the baseline the
+// others are compared against.
+var engineVariants = []struct {
+	name string
+	opts []mpi.Option
+}{
+	{"event", nil},
+	{"goroutine", []mpi.Option{mpi.WithGoroutineRuntime()}},
+	{"reference", []mpi.Option{mpi.WithReferenceCollectives()}},
+}
+
+// TestEventEngineMatchesGoroutineRuntime is the differential proof behind
+// the discrete-event scheduler: every application kernel, run once per
+// engine variant, must produce bit-identical per-rank virtual clocks, a
+// byte-identical encoded trace and a matching mpiP profile. The virtual-time
+// semantics are engine-independent by construction — collective rounds fold
+// the same maxima, unexpected-message penalties depend on virtual arrival
+// rather than physical schedule, and the event engine's tie-break only picks
+// among orders the goroutine runtime could legally produce — so any
+// divergence is a bug, not noise.
+func TestEventEngineMatchesGoroutineRuntime(t *testing.T) {
 	for _, name := range apps.Names() {
 		app := apps.ByName(name)
 		n := 16
@@ -41,54 +56,54 @@ func TestFastRuntimeMatchesReference(t *testing.T) {
 		}
 		t.Run(fmt.Sprintf("%s-%d", name, n), func(t *testing.T) {
 			t.Parallel()
-			fast, fastTrace, fastProf := runKernel(t, name, n)
-			ref, refTrace, refProf := runKernel(t, name, n, mpi.WithReferenceCollectives())
+			base, baseTrace, baseProf := runKernel(t, name, n, engineVariants[0].opts...)
+			for _, variant := range engineVariants[1:] {
+				res, resTrace, resProf := runKernel(t, name, n, variant.opts...)
 
-			if !bytes.Equal(fastTrace, refTrace) {
-				t.Error("encoded traces differ between fast and reference collectives")
-			}
-			if report := mpip.Diff(refProf, fastProf); !report.Match() {
-				t.Errorf("mpiP profiles differ between fast and reference collectives:\n%s", report)
-			}
-			if wildcardApps[name] {
-				// Wildcard matching races in both runtimes, so the two runs
-				// execute genuinely different (all legal) match orders and
-				// their clocks drift — more under the race detector, whose
-				// instrumentation reshuffles goroutine interleavings. Bound
-				// the drift at 1%: real cost-model divergences (a changed
-				// formula, a lost contribution) show up orders of magnitude
-				// larger and in the deterministic kernels too.
-				const relTol = 1e-2
-				for i := range ref.PerRankUS {
-					if d := math.Abs(fast.PerRankUS[i]-ref.PerRankUS[i]) / ref.PerRankUS[i]; d > relTol {
-						t.Errorf("rank %d clock: fast %v, reference %v (rel diff %g)",
-							i, fast.PerRankUS[i], ref.PerRankUS[i], d)
-					}
+				if !bytes.Equal(baseTrace, resTrace) {
+					t.Errorf("encoded traces differ between event engine and %s runtime", variant.name)
 				}
-				return
-			}
-			if fast.ElapsedUS != ref.ElapsedUS {
-				t.Errorf("ElapsedUS: fast %v, reference %v", fast.ElapsedUS, ref.ElapsedUS)
-			}
-			for i := range ref.PerRankUS {
-				if fast.PerRankUS[i] != ref.PerRankUS[i] {
-					t.Errorf("rank %d clock: fast %v, reference %v",
-						i, fast.PerRankUS[i], ref.PerRankUS[i])
+				if report := mpip.Diff(resProf, baseProf); !report.Match() {
+					t.Errorf("mpiP profiles differ between event engine and %s runtime:\n%s", variant.name, report)
+				}
+				if wildcardApps[name] {
+					// The goroutine runtime's wildcard matches race, so its
+					// clocks sit anywhere in the legal-match-order envelope —
+					// wider under the race detector, whose instrumentation
+					// reshuffles interleavings. Bound the drift at 1%: real
+					// cost-model divergences (a changed formula, a lost
+					// contribution) show up orders of magnitude larger and in
+					// the deterministic kernels too.
+					const relTol = 1e-2
+					for i := range res.PerRankUS {
+						if d := math.Abs(base.PerRankUS[i]-res.PerRankUS[i]) / res.PerRankUS[i]; d > relTol {
+							t.Errorf("rank %d clock: event %v, %s %v (rel diff %g)",
+								i, base.PerRankUS[i], variant.name, res.PerRankUS[i], d)
+						}
+					}
+					continue
+				}
+				if base.ElapsedUS != res.ElapsedUS {
+					t.Errorf("ElapsedUS: event %v, %s %v", base.ElapsedUS, variant.name, res.ElapsedUS)
+				}
+				for i := range res.PerRankUS {
+					if base.PerRankUS[i] != res.PerRankUS[i] {
+						t.Errorf("rank %d clock: event %v, %s %v",
+							i, base.PerRankUS[i], variant.name, res.PerRankUS[i])
+					}
 				}
 			}
 		})
 	}
 }
 
-// TestFastRuntimeRunToRunDeterminism re-runs every wildcard-free kernel on
-// the default runtime and demands bit-identical clocks: the atomic barrier
-// and the mailbox fast path must not introduce any scheduling dependence of
-// their own.
-func TestFastRuntimeRunToRunDeterminism(t *testing.T) {
+// TestRunToRunDeterminism re-runs every kernel on the default (event)
+// engine and demands bit-identical clocks and traces. Unlike the goroutine
+// runtime, the event engine is deterministic even for the wildcard kernels:
+// matching follows virtual-time order with a fixed tie-break, so no kernel
+// is excluded here.
+func TestRunToRunDeterminism(t *testing.T) {
 	for _, name := range apps.Names() {
-		if wildcardApps[name] {
-			continue
-		}
 		app := apps.ByName(name)
 		n := 16
 		for !app.ValidRanks(n) {

@@ -62,13 +62,15 @@ func TestPoolJobCancellationStopsPipelineWork(t *testing.T) {
 	submitted := false
 	for tries := 0; tries < 100 && !submitted; tries++ {
 		err := p.Submit(ctx, func(ctx context.Context) {
-			// A deliberately unbounded workload: rank 0 waits for a message
-			// nobody sends, so only cancellation can end the run.
+			// A deliberately unbounded workload: the ranks cycle through
+			// collective rounds forever, so only cancellation can end the
+			// run. (A world that simply deadlocks no longer works as a
+			// fixture here: the event engine proves the deadlock and returns
+			// before the cancel lands.)
 			_, err := mpi.Run(4, netmodel.Ideal(), func(r *mpi.Rank) {
-				if r.Rank() == 0 {
-					r.Recv(r.World(), 1, 9, 8)
-				} else {
+				for {
 					r.Barrier(r.World())
+					r.Allreduce(r.World(), 8)
 				}
 			}, mpi.WithContext(ctx), mpi.WithTimeout(30*time.Second))
 			errCh <- err

@@ -25,10 +25,36 @@ func waitForGoroutines(t *testing.T, base int) {
 	t.Fatalf("goroutines did not drain: %d now vs %d before the run", runtime.NumGoroutine(), base)
 }
 
-// TestRunContextCancelUnblocksRanks cancels a run whose ranks are blocked in
-// every kind of wait — a point-to-point receive, a collective rendezvous and
-// a (virtual) compute loop — and asserts Run returns the context error with
-// no rank goroutine left behind.
+// foreverBody never completes and never deadlocks: every rank keeps making
+// progress through collective rounds while rank 0 also floods rank 1 with
+// sends nobody receives, so a cancelled world is torn down with both parked
+// ranks and undelivered deposits pending. (A body whose ranks all block
+// forever is no longer a useful cancellation fixture: the event engine
+// proves the deadlock and returns before any cancel can land.)
+func foreverBody(r *Rank) {
+	w := r.World()
+	for i := 0; ; i++ {
+		if r.Rank() == 0 {
+			r.Isend(w, 1, i, 8)
+		}
+		r.Allreduce(w, 8)
+	}
+}
+
+// blockedBody deadlocks immediately: nobody sends to rank 0, and rank 0
+// never joins the barrier.
+func blockedBody(r *Rank) {
+	if r.Rank() == 0 {
+		r.Recv(r.World(), 1, 7, 8)
+	} else {
+		r.Barrier(r.World())
+	}
+}
+
+// TestRunContextCancelUnblocksRanks cancels an event-engine run mid-flight —
+// most ranks parked in a collective rendezvous, undelivered deposits queued —
+// and asserts Run returns the context error with no rank goroutine left
+// behind and every pending event drained.
 func TestRunContextCancelUnblocksRanks(t *testing.T) {
 	base := runtime.NumGoroutine()
 	ctx, cancel := context.WithCancel(context.Background())
@@ -36,21 +62,52 @@ func TestRunContextCancelUnblocksRanks(t *testing.T) {
 		time.Sleep(50 * time.Millisecond)
 		cancel()
 	}()
-	_, err := Run(8, netmodel.Ideal(), func(r *Rank) {
-		switch r.Rank() {
-		case 0:
-			// Blocks forever: nobody sends to rank 0.
-			r.Recv(r.World(), 1, 7, 8)
-		default:
-			// Blocks forever: rank 0 never joins the barrier.
-			r.Barrier(r.World())
-		}
-	}, WithContext(ctx), WithTimeout(30*time.Second))
+	_, err := Run(8, netmodel.Ideal(), foreverBody,
+		WithContext(ctx), WithTimeout(30*time.Second))
 	if err == nil {
 		t.Fatal("Run succeeded, want cancellation error")
 	}
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("Run error %v does not wrap context.Canceled", err)
+	}
+	waitForGoroutines(t, base)
+}
+
+// TestRunContextCancelGoroutineRuntime exercises the goroutine runtime's
+// teardown of ranks blocked in every kind of wait (condition-variable
+// receive, collective rendezvous), which stays reachable behind
+// WithGoroutineRuntime.
+func TestRunContextCancelGoroutineRuntime(t *testing.T) {
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	_, err := Run(8, netmodel.Ideal(), blockedBody,
+		WithContext(ctx), WithGoroutineRuntime(), WithTimeout(30*time.Second))
+	if err == nil {
+		t.Fatal("Run succeeded, want cancellation error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run error %v does not wrap context.Canceled", err)
+	}
+	waitForGoroutines(t, base)
+}
+
+// TestEventEngineDeadlockDetectedInstantly pins the event engine's deadlock
+// proof: a world whose ranks all block forever is reported the moment the
+// run queue empties — well inside the 60-second default timeout — and its
+// goroutines are swept, not leaked.
+func TestEventEngineDeadlockDetectedInstantly(t *testing.T) {
+	base := runtime.NumGoroutine()
+	start := time.Now()
+	_, err := Run(8, netmodel.Ideal(), blockedBody)
+	if err == nil || !strings.Contains(err.Error(), "deadlock detected") {
+		t.Fatalf("Run error = %v, want instant deadlock detection", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("deadlock took %v to report; the event engine should prove it instantly", elapsed)
 	}
 	waitForGoroutines(t, base)
 }
@@ -77,17 +134,25 @@ func TestRunContextCancelReferenceCollectives(t *testing.T) {
 	waitForGoroutines(t, base)
 }
 
-// TestRunTimeoutDrainsGoroutines asserts the deadlock-timeout path also
-// unwinds every rank instead of leaking them.
+// TestRunTimeoutDrainsGoroutines asserts the wall-clock timeout path also
+// unwinds every rank instead of leaking them. The body loops forever without
+// deadlocking, so the event engine cannot finish it early with a proof.
 func TestRunTimeoutDrainsGoroutines(t *testing.T) {
 	base := runtime.NumGoroutine()
-	_, err := Run(4, netmodel.Ideal(), func(r *Rank) {
-		if r.Rank() == 0 {
-			r.Recv(r.World(), 1, 99, 4) // never sent
-		} else {
-			r.Barrier(r.World())
-		}
-	}, WithTimeout(200*time.Millisecond))
+	_, err := Run(4, netmodel.Ideal(), foreverBody, WithTimeout(200*time.Millisecond))
+	if err == nil || !strings.Contains(err.Error(), "deadlock suspected") {
+		t.Fatalf("Run error = %v, want deadlock timeout", err)
+	}
+	waitForGoroutines(t, base)
+}
+
+// TestRunTimeoutGoroutineRuntime pins the same timeout sweep for the
+// goroutine runtime with ranks genuinely blocked (its only way to observe a
+// deadlocked world).
+func TestRunTimeoutGoroutineRuntime(t *testing.T) {
+	base := runtime.NumGoroutine()
+	_, err := Run(4, netmodel.Ideal(), blockedBody,
+		WithGoroutineRuntime(), WithTimeout(200*time.Millisecond))
 	if err == nil || !strings.Contains(err.Error(), "deadlock suspected") {
 		t.Fatalf("Run error = %v, want deadlock timeout", err)
 	}

@@ -79,9 +79,12 @@ func newComm(w *World, id int, group []int) *Comm {
 	if w != nil {
 		stop = w.stop
 	}
-	if w != nil && w.refColl {
+	switch {
+	case w != nil && w.sched != nil:
+		c.sync = newSeqColl(w.sched, c.group)
+	case w != nil && w.refColl:
 		c.sync = newLockedColl(len(group), stop)
-	} else {
+	default:
 		c.sync = newFastColl(len(group), stop)
 	}
 	return c

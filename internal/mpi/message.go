@@ -176,34 +176,94 @@ type srcSlot struct {
 	unex     msgQueue  // deposited, not yet matched (injection order)
 	posted   recvQueue // concrete-source receives, post order
 	inflight int       // deposited-but-not-drained count
+	credit   creditWaiter
+}
+
+// creditWaiter is a sender parked (event engine only) on this mailbox's
+// flow control: it resumes once msg is drained or the source's inflight
+// count falls to the window. It lives inside the source's srcSlot — a
+// sender is serial, so at most one stall per (source, receiver) pair can
+// exist, and because the stall predicate only mentions that source's state,
+// a drain of a message from source s can release no one but s. That makes
+// credit release O(1) per drain where a shared waiter list would be scanned
+// in full — the difference between O(messages) and O(messages × senders)
+// on an incast. msg non-nil marks the slot occupied.
+type creditWaiter struct {
+	rank   int32 // sender's world rank
+	window int32
+	msg    *message
+}
+
+// anyCand is one anyHeap entry: a source's candidate message for AnySource
+// matching, with its sort key (the message's virtual arrival, source rank
+// breaking ties — the documented wildcard-match order) cached inline.
+type anyCand struct {
+	arrival float64
+	src     int32
+	msg     *message
 }
 
 // mailbox is the per-rank transport endpoint: per-source state indexed by
-// world rank, an AnySource receive queue, and flow-control accounting, all
-// guarded by one mutex. Senders deposit without blocking; receivers match
-// and complete. The indexes preserve the scan semantics of a single FIFO:
-// matching takes the oldest unexpected message per source, AnySource picks
-// the candidate with the earliest virtual arrival (source rank breaking
-// ties), and a deposit attaches to the earliest posted acceptor.
+// world rank, an AnySource receive queue, and flow-control accounting.
+// Senders deposit without blocking; receivers match and complete. The
+// indexes preserve the scan semantics of a single FIFO: matching takes the
+// oldest unexpected message per source, AnySource picks the candidate with
+// the earliest virtual arrival (source rank breaking ties), and a deposit
+// attaches to the earliest posted acceptor.
+//
+// The mailbox runs in one of two synchronization regimes. Under the
+// goroutine runtime every operation serializes on the mutex and blocking
+// waits park on the condition variable. Under the event engine (seq
+// non-nil) at most one rank executes at a time, so the same structures are
+// used with no locking at all: blocking waits hand the execution token to
+// the scheduler, and the operations that satisfy them (a matching deposit,
+// a credit-releasing drain) push the waiter back onto the run queue.
 //
 // The per-source index is an int32 slice (0 = no state yet, else slot
 // position + 1) into a compact slice of srcSlots that grows with the
 // sources actually seen. A rank typically communicates with a handful of
 // peers, so the dense structures stay tiny, and the world-rank-sized index
 // is pointer-free: the garbage collector never scans it, unlike a
-// world-sized slice of queue pointers.
+// world-sized slice of queue pointers. Above denseSrcIndexRanks ranks the
+// n-per-rank (n² total) index slices would dominate the world's footprint,
+// so the index falls back to a lazy per-mailbox map keyed by source rank —
+// still compact, because each rank talks to few peers.
 type mailbox struct {
 	mu   sync.Mutex
 	cond sync.Cond
 
-	srcIdx   []int32   // indexed by source world rank; 0 = none, else 1+slot
-	slots    []srcSlot // per-source state for sources seen so far
-	unexLive int       // live (unmatched) unexpected messages across all sources
+	srcIdx   []int32           // dense index by source world rank; 0 = none, else 1+slot
+	srcMap   map[int32]int32   // sparse index, used when srcIdx is nil
+	slots    []srcSlot         // per-source state for sources seen so far
+	unexLive int               // live (unmatched) unexpected messages across all sources
 
 	postedAny recvQueue // AnySource receives, post order
 	postCount uint64    // post-order stamp generator
 
+	// anyHeap accelerates AnySource matching against a standing unexpected
+	// backlog: a min-heap keyed (arrival, source) holding each source's
+	// current candidate — its lowest-sequence live message accepted by tag
+	// anyTag. Without it every wildcard receive scans all source slots, which
+	// under the event engine is quadratic on master/worker patterns: clock-
+	// ordered dispatch runs the senders far ahead of the master, so the
+	// backlog is standing by construction. Entries go stale when a candidate
+	// is consumed; the pop loop detects that (the entry no longer equals the
+	// slot's live candidate) and discards, which is sound because every
+	// candidate change pushes a fresh entry for the new candidate — the heap
+	// always contains at least one entry for each source's current candidate.
+	// A receive with a different tag than the heap was built for rebuilds it
+	// (one slot scan); phases alternating wildcard tags per receive would
+	// thrash, but wildcard phases use one tag in every workload here.
+	anyHeap  []anyCand
+	anyTag   int
+	anyValid bool
+
 	lastDrain float64 // receiver clock at the most recent drain
+
+	// owner is the world rank this mailbox belongs to; seq is the event
+	// engine, nil under the goroutine runtime.
+	owner int32
+	seq   *eventLoop
 
 	// stop is the world's cancellation latch; every blocking wait re-checks
 	// it after waking so a poisoned world unblocks its receivers and stalled
@@ -211,34 +271,54 @@ type mailbox struct {
 	stop *runStop
 }
 
-// initMailbox prepares a zero mailbox in place, with srcIdx as its
-// per-source index. The world carves every mailbox and every srcIdx slice
-// out of two world-sized backing arrays, so n ranks cost two transport
-// allocations rather than 3n.
-func (mb *mailbox) initMailbox(srcIdx []int32, stop *runStop) {
+// initMailbox prepares a zero mailbox in place. srcIdx is its dense
+// per-source index, carved from a world-sized backing array; a nil srcIdx
+// selects the sparse map index instead (worlds above denseSrcIndexRanks).
+// seq non-nil puts the mailbox in event-engine mode.
+func (mb *mailbox) initMailbox(srcIdx []int32, owner int32, stop *runStop, seq *eventLoop) {
 	mb.srcIdx = srcIdx
+	mb.owner = owner
 	mb.cond.L = &mb.mu
 	mb.stop = stop
+	mb.seq = seq
 }
 
 // slot returns the per-source state for src, allocating it on first use.
-// The mailbox lock must be held. The returned pointer is invalidated by the
-// next slot call (growth may move the slice), so callers must not retain it
-// across allocations.
+// The mailbox lock must be held (goroutine runtime). The returned pointer
+// is invalidated by the next slot call (growth may move the slice), so
+// callers must not retain it across allocations.
 func (mb *mailbox) slot(src int) *srcSlot {
-	i := mb.srcIdx[src]
+	var i int32
+	if mb.srcIdx != nil {
+		i = mb.srcIdx[src]
+	} else {
+		i = mb.srcMap[int32(src)]
+	}
 	if i == 0 {
 		mb.slots = append(mb.slots, srcSlot{})
 		i = int32(len(mb.slots))
-		mb.srcIdx[src] = i
+		if mb.srcIdx != nil {
+			mb.srcIdx[src] = i
+		} else {
+			if mb.srcMap == nil {
+				mb.srcMap = make(map[int32]int32, 8)
+			}
+			mb.srcMap[int32(src)] = i
+		}
 	}
 	return &mb.slots[i-1]
 }
 
 // lookup returns the per-source state for src, or nil if the source has no
-// state yet. The mailbox lock must be held.
+// state yet. The mailbox lock must be held (goroutine runtime).
 func (mb *mailbox) lookup(src int) *srcSlot {
-	if i := mb.srcIdx[src]; i != 0 {
+	var i int32
+	if mb.srcIdx != nil {
+		i = mb.srcIdx[src]
+	} else {
+		i = mb.srcMap[int32(src)]
+	}
+	if i != 0 {
 		return &mb.slots[i-1]
 	}
 	return nil
@@ -246,9 +326,27 @@ func (mb *mailbox) lookup(src int) *srcSlot {
 
 // deposit delivers a message. If a compatible posted receive exists the
 // message is attached to the earliest one; otherwise it joins the source's
-// unexpected queue. deposit never blocks (eager/buffered semantics).
+// unexpected queue. deposit never blocks (eager/buffered semantics). Under
+// the event engine a match wakes the owner: it may be parked in awaitMatch
+// on the receive just satisfied (an unmatched deposit cannot unblock it, so
+// no wake is needed then).
 func (mb *mailbox) deposit(m *message) {
+	if mb.seq != nil {
+		if mb.depositCore(m) {
+			mb.seq.wake(mb.owner)
+		}
+		return
+	}
 	mb.mu.Lock()
+	matched := mb.depositCore(m)
+	mb.cond.Broadcast()
+	mb.mu.Unlock()
+	_ = matched
+}
+
+// depositCore is deposit's synchronization-free body; it reports whether
+// the message matched a posted receive.
+func (mb *mailbox) depositCore(m *message) bool {
 	s := mb.slot(m.src)
 	s.inflight++
 	// Earliest acceptor across the source's queue and the AnySource queue.
@@ -259,15 +357,19 @@ func (mb *mailbox) deposit(m *message) {
 	if best != nil {
 		best.msg = m
 		m.matched = true
-		mb.cond.Broadcast()
-		mb.mu.Unlock()
-		return
+		return true
 	}
 	s.unex.push(m)
 	mb.unexLive++
-	mb.cond.Broadcast()
-	mb.mu.Unlock()
 	ctrQueuedUnexpected.Inc()
+	// If this message became its source's AnySource candidate (no earlier
+	// live match existed), mirror it into the candidate heap.
+	if mb.anyValid && acceptsTag(mb.anyTag, m.tag) {
+		if i := s.unex.firstMatch(mb.anyTag); i >= 0 && s.unex.items[i] == m {
+			mb.anyPush(anyCand{arrival: m.arrival, src: int32(m.src), msg: m})
+		}
+	}
+	return false
 }
 
 // post registers the receive p (allocated by the calling rank) and attempts
@@ -278,13 +380,22 @@ func (mb *mailbox) deposit(m *message) {
 // that case p was never enqueued and the receive needs no further mailbox
 // interaction.
 func (mb *mailbox) post(p *postedRecv) (matched bool) {
+	if mb.seq != nil {
+		return mb.postCore(p)
+	}
 	mb.mu.Lock()
+	matched = mb.postCore(p)
+	mb.mu.Unlock()
+	return matched
+}
+
+// postCore is post's synchronization-free body.
+func (mb *mailbox) postCore(p *postedRecv) bool {
 	p.order = mb.postCount
 	mb.postCount++
 	if m := mb.takeUnexpected(p); m != nil {
 		p.msg = m
 		p.fastMatched = true
-		mb.mu.Unlock()
 		ctrMatchedFast.Inc()
 		return true
 	}
@@ -293,7 +404,6 @@ func (mb *mailbox) post(p *postedRecv) (matched bool) {
 	} else {
 		mb.slot(p.src).posted.push(p)
 	}
-	mb.mu.Unlock()
 	return false
 }
 
@@ -313,44 +423,135 @@ func (mb *mailbox) takeUnexpected(p *postedRecv) *message {
 			return nil
 		}
 		mb.unexLive--
-		return q.take(i)
+		m := q.take(i)
+		// The take may have consumed this source's AnySource candidate; push
+		// its successor so the heap keeps covering the source (a duplicate
+		// entry for an unchanged candidate is harmless — pops validate).
+		if mb.anyValid && acceptsTag(mb.anyTag, m.tag) {
+			if j := q.firstMatch(mb.anyTag); j >= 0 {
+				nc := q.items[j]
+				mb.anyPush(anyCand{arrival: nc.arrival, src: int32(nc.src), msg: nc})
+			}
+		}
+		return m
 	}
 	// AnySource: the per-source candidate is each queue's oldest tag match;
 	// the earliest virtual arrival wins, source rank breaking ties, so the
-	// outcome does not depend on slot order.
-	var bestQ *msgQueue
-	bestIdx := -1
+	// outcome does not depend on slot order. The candidate heap serves that
+	// minimum in O(log sources) instead of a full slot scan.
+	if !mb.anyValid || mb.anyTag != p.tag {
+		mb.rebuildAnyHeap(p.tag)
+	}
+	for len(mb.anyHeap) > 0 {
+		top := mb.anyHeap[0]
+		s := mb.lookup(int(top.src))
+		var q *msgQueue
+		i := -1
+		if s != nil {
+			q = &s.unex
+			i = q.firstMatch(p.tag)
+		}
+		if i < 0 || q.items[i] != top.msg {
+			// Stale: this source's candidate was consumed since the entry
+			// was pushed. Its current candidate (if any) has its own entry.
+			mb.anyPop()
+			continue
+		}
+		mb.anyPop()
+		mb.unexLive--
+		m := q.take(i)
+		if j := q.firstMatch(p.tag); j >= 0 {
+			nc := q.items[j]
+			mb.anyPush(anyCand{arrival: nc.arrival, src: int32(nc.src), msg: nc})
+		}
+		return m
+	}
+	return nil
+}
+
+// acceptsTag reports whether a receive posted with rtag accepts a message
+// tagged mtag.
+func acceptsTag(rtag, mtag int) bool { return rtag == AnyTag || rtag == mtag }
+
+// rebuildAnyHeap scans every source slot once and (re)builds the AnySource
+// candidate heap for receives tagged tag.
+func (mb *mailbox) rebuildAnyHeap(tag int) {
+	mb.anyHeap = mb.anyHeap[:0]
+	mb.anyTag = tag
+	mb.anyValid = true
 	for si := range mb.slots {
 		q := &mb.slots[si].unex
-		i := q.firstMatch(p.tag)
-		if i < 0 {
-			continue
-		}
-		m := q.items[i]
-		if bestIdx == -1 {
-			bestQ, bestIdx = q, i
-			continue
-		}
-		b := bestQ.items[bestIdx]
-		if m.arrival < b.arrival || (m.arrival == b.arrival && m.src < b.src) {
-			bestQ, bestIdx = q, i
+		if i := q.firstMatch(tag); i >= 0 {
+			m := q.items[i]
+			mb.anyPush(anyCand{arrival: m.arrival, src: int32(m.src), msg: m})
 		}
 	}
-	if bestIdx == -1 {
-		return nil
+}
+
+func candLess(a, b anyCand) bool {
+	return a.arrival < b.arrival || (a.arrival == b.arrival && a.src < b.src)
+}
+
+func (mb *mailbox) anyPush(ent anyCand) {
+	h := append(mb.anyHeap, ent)
+	mb.anyHeap = h
+	c := len(h) - 1
+	for c > 0 {
+		p := (c - 1) / 2
+		if !candLess(ent, h[p]) {
+			break
+		}
+		h[c] = h[p]
+		c = p
 	}
-	mb.unexLive--
-	return bestQ.take(bestIdx)
+	h[c] = ent
+}
+
+func (mb *mailbox) anyPop() {
+	h := mb.anyHeap
+	last := len(h) - 1
+	ent := h[last]
+	h[last] = anyCand{}
+	h = h[:last]
+	mb.anyHeap = h
+	if last == 0 {
+		return
+	}
+	p := 0
+	for {
+		c := 2*p + 1
+		if c >= len(h) {
+			break
+		}
+		if c+1 < len(h) && candLess(h[c+1], h[c]) {
+			c++
+		}
+		if !candLess(h[c], ent) {
+			break
+		}
+		h[p] = h[c]
+		p = c
+	}
+	h[p] = ent
 }
 
 // awaitMatch blocks until p has been matched by a depositor. The matched
 // entry stays tombstoned in its posted queue (p.msg != nil makes every scan
-// skip it) until compaction reclaims it. Unlike the collective rendezvous,
-// the receiver parks immediately: a point-to-point match depends on one
-// specific sender rather than the whole communicator, so the deposit rarely
-// lands within a scheduler rotation and speculative yields only add lock
-// round-trips.
+// skip it) until compaction reclaims it. Under the goroutine runtime the
+// receiver parks immediately on the condition variable: a point-to-point
+// match depends on one specific sender rather than the whole communicator,
+// so the deposit rarely lands within a scheduler rotation and speculative
+// yields only add lock round-trips. Under the event engine the receiver
+// hands the execution token away and the matching deposit wakes it; wakes
+// may be spurious (any activity on this rank's structures), hence the loop.
 func (mb *mailbox) awaitMatch(p *postedRecv) {
+	if mb.seq != nil {
+		for p.msg == nil {
+			mb.seq.block(mb.owner)
+		}
+		mb.noteConsumedLocked(p)
+		return
+	}
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
 	for p.msg == nil {
@@ -361,7 +562,7 @@ func (mb *mailbox) awaitMatch(p *postedRecv) {
 }
 
 // noteConsumedLocked accounts for p's tombstone in its posted queue; the
-// mailbox lock must be held.
+// mailbox lock must be held (goroutine runtime).
 func (mb *mailbox) noteConsumedLocked(p *postedRecv) {
 	if p.src == AnySource {
 		mb.postedAny.noteConsumed(p)
@@ -384,6 +585,21 @@ func (q *recvQueue) noteConsumed(p *postedRecv) {
 // drain marks the receive of m complete at receiver virtual time now,
 // returning flow-control credit to the sender.
 func (mb *mailbox) drain(m *message, now float64) {
+	if mb.seq != nil {
+		if !m.drained {
+			m.drained = true
+			s := mb.slot(m.src)
+			s.inflight--
+			if now > mb.lastDrain {
+				mb.lastDrain = now
+			}
+			if cw := &s.credit; cw.msg != nil &&
+				(cw.msg.drained || s.inflight <= int(cw.window)) {
+				mb.releaseCredit(cw)
+			}
+		}
+		return
+	}
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
 	if !m.drained {
@@ -396,6 +612,18 @@ func (mb *mailbox) drain(m *message, now float64) {
 	}
 }
 
+// releaseCredit (event engine) wakes the one parked sender whose stall this
+// drain resolved, recording the releasing drain clock on the sender so its
+// resume time reflects the drain that freed it — the same instant a
+// promptly-scheduled goroutine-runtime sender would observe.
+func (mb *mailbox) releaseCredit(cw *creditWaiter) {
+	snd := mb.seq.rank(cw.rank)
+	snd.cwDone = true
+	snd.cwResume = mb.lastDrain
+	mb.seq.wake(cw.rank)
+	*cw = creditWaiter{}
+}
+
 // awaitCredit blocks the sender of msg until the receiver has drained enough
 // of its backlog (inflight below window) or msg itself has been drained.
 // It returns the virtual time at which the stall resolved (the receiver's
@@ -404,6 +632,21 @@ func (mb *mailbox) drain(m *message, now float64) {
 func (mb *mailbox) awaitCredit(msg *message, window int, senderClock float64) (resumeAt float64, stalled bool) {
 	if window <= 0 {
 		return senderClock, false
+	}
+	if mb.seq != nil {
+		s := mb.slot(msg.src)
+		if msg.drained || s.inflight <= window {
+			return senderClock, false
+		}
+		me := int32(msg.src)
+		snd := mb.seq.rank(me)
+		snd.cwDone = false
+		snd.cwResume = 0
+		s.credit = creditWaiter{rank: me, window: int32(window), msg: msg}
+		for !snd.cwDone {
+			mb.seq.block(me)
+		}
+		return math.Max(senderClock, snd.cwResume), true
 	}
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
@@ -421,6 +664,12 @@ func (mb *mailbox) awaitCredit(msg *message, window int, senderClock float64) (r
 // pendingFrom reports how many messages from src are deposited but not yet
 // drained. Used by tests and the runtime's diagnostics.
 func (mb *mailbox) pendingFrom(src int) int {
+	if mb.seq != nil {
+		if s := mb.lookup(src); s != nil {
+			return s.inflight
+		}
+		return 0
+	}
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
 	if s := mb.lookup(src); s != nil {

@@ -1,0 +1,7 @@
+//go:build !race
+
+package mpi
+
+// raceEnabled lets scale-sensitive tests skip themselves under the race
+// detector, whose instrumentation multiplies their footprint and runtime.
+const raceEnabled = false

@@ -35,6 +35,14 @@ type Rank struct {
 	// opCount numbers this rank's operations for the deterministic noise
 	// stream.
 	opCount uint64
+	// cwDone/cwResume carry a flow-control release from the draining
+	// receiver back to this rank when it is parked as a creditWaiter (event
+	// engine only): cwResume is the drain clock that freed the stall. Both
+	// are written by the releasing rank and read here, ordered by the
+	// scheduler's token handoff.
+	cwDone   bool
+	cwResume float64
+
 	// lastInject records, per flow (destination and message size), the
 	// shadow time of the previous injection. Keying by flow makes the
 	// measured period the application's per-stream cadence (face exchanges

@@ -1,0 +1,290 @@
+package mpi
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// This file is the discrete-event engine: the default scheduler behind
+// World.Run. Each rank's body still executes on its own goroutine — Go has
+// no other way to keep an arbitrary imperative body's continuation alive —
+// but the goroutines are coroutines, not concurrent processes: a single
+// execution token moves between them, so at most one rank runs at any
+// instant and the Go scheduler never sees more than one runnable rank.
+// Every blocking primitive (receive match, flow-control credit, collective
+// rendezvous) becomes an event-queue interaction instead of a mutex/cond
+// park: the blocking rank registers itself with the structure it waits on
+// and hands the token to the run queue; the rank that satisfies the wait
+// pushes the waiter back onto the run queue. The run queue is a binary
+// min-heap keyed on (virtual clock, rank), so execution advances in
+// virtual-time order with a fixed tie-break — which makes the engine fully
+// deterministic, including wildcard-receive matching, where the goroutine
+// runtime depends on physical arrival order.
+//
+// The payoff over the goroutine runtime is the removal of every
+// parked-thread wakeup, mutex handoff and condvar broadcast storm from the
+// hot path (one channel send/receive pair per context switch, nothing
+// else), which is what lets one process simulate hundreds of thousands of
+// ranks. A second payoff is exact deadlock detection: when the run queue
+// empties while live ranks remain parked, no future deposit, drain or
+// collective completion can ever occur, and the engine reports the
+// deadlock immediately instead of waiting out the wall-clock timeout.
+//
+// Memory-model note: the execution token is a per-rank buffered channel.
+// Every transfer of shared state between two rank goroutines is separated
+// by at least one token send/receive on that chain, so all accesses are
+// ordered by channel happens-before edges and the engine is clean under
+// the race detector without a single mutex.
+
+// rankState tracks where each rank's goroutine is with respect to the
+// execution token.
+type rankState uint8
+
+const (
+	// rsRunnable: in the run queue (or about to be started), parked on its
+	// resume channel waiting for the token.
+	rsRunnable rankState = iota
+	// rsRunning: holds the token and is executing body code.
+	rsRunning
+	// rsBlocked: parked on a transport or collective wait; not in the run
+	// queue. Only a wake moves it back to rsRunnable.
+	rsBlocked
+	// rsDone: body returned or unwound; the goroutine has exited (or is
+	// about to).
+	rsDone
+)
+
+// eventLoop is the engine's shared state. All fields except the channels
+// are touched only by whichever goroutine holds the execution token (or by
+// Run's goroutine before the first dispatch / after the stalled signal),
+// so none of them need locks.
+type eventLoop struct {
+	ranks []Rank
+	stop  *runStop
+
+	state  []rankState
+	resume []chan struct{} // per-rank token channel, buffered 1
+
+	// heap is the run queue: a 4-ary min-heap ordered by (virtual clock,
+	// rank). The clock key is cached in the entry — a rank's clock only
+	// advances while it holds the token, so keys are immutable while queued —
+	// which keeps every comparison inside the heap slab instead of chasing
+	// into the rank array; with 16-byte entries one cache line holds a full
+	// child group, and the 4-ary shape halves the levels a sift traverses.
+	// Both matter: at 65536 ranks the run queue is the engine's only
+	// super-constant per-event cost.
+	heap []heapEnt
+
+	nLive      int // ranks not yet rsDone
+	drainNext  int // post-stop unwind cursor over the rank array
+	exitClosed bool
+	dispatches uint64
+
+	// exited is closed when the last rank goroutine has unwound; stalled is
+	// closed when the run queue empties while live ranks remain blocked
+	// (virtual deadlock). At most one of them closes before Run intervenes.
+	exited  chan struct{}
+	stalled chan struct{}
+
+	// panics collects non-teardown rank panics. Appended only by the token
+	// holder; read by Run after exited/stalled.
+	panics []error
+}
+
+// heapEnt is one run-queue entry: the rank index plus its virtual clock at
+// push time, cached so comparisons never leave the heap slab.
+type heapEnt struct {
+	clock float64
+	rank  int32
+}
+
+func newEventLoop(n int, stop *runStop) *eventLoop {
+	e := &eventLoop{
+		stop:    stop,
+		state:   make([]rankState, n),
+		resume:  make([]chan struct{}, n),
+		heap:    make([]heapEnt, 0, n),
+		nLive:   n,
+		exited:  make(chan struct{}),
+		stalled: make(chan struct{}),
+	}
+	for i := range e.resume {
+		e.resume[i] = make(chan struct{}, 1)
+	}
+	return e
+}
+
+func (e *eventLoop) rank(i int32) *Rank { return &e.ranks[i] }
+
+// start seeds the run queue with every rank at virtual time zero — pushing
+// in rank order builds a valid heap for all-equal keys — and hands the
+// token to the first. Called from Run's goroutine before any rank runs.
+func (e *eventLoop) start() {
+	for i := range e.state {
+		e.heap = append(e.heap, heapEnt{clock: 0, rank: int32(i)})
+	}
+	e.dispatch()
+}
+
+// rankProc is the goroutine wrapper for one rank: wait for the first
+// token, run the shared rank entry, and on any exit — normal return,
+// orderly teardown or a user panic — pass the token on.
+func (e *eventLoop) rankProc(r *Rank, body func(*Rank)) {
+	defer func() {
+		if p := recover(); p != nil {
+			if _, stopped := p.(runStopped); !stopped {
+				e.panics = append(e.panics,
+					fmt.Errorf("mpi: rank %d panicked: %v\n%s", r.rank, p, debug.Stack()))
+			}
+		}
+		e.finishRank(r.rank)
+	}()
+	<-e.resume[r.rank]
+	e.stop.checkStopped()
+	rankMain(r, body)
+}
+
+func (e *eventLoop) finishRank(i int) {
+	e.state[i] = rsDone
+	e.nLive--
+	e.dispatch()
+}
+
+// block parks the calling rank (me) until some other rank wakes it. The
+// caller re-checks its wait predicate on return: wakes may be spurious
+// (any activity on a structure the rank registered with). A poisoned world
+// never parks and never resumes — both sides unwind via checkStopped.
+func (e *eventLoop) block(me int32) {
+	e.stop.checkStopped()
+	e.state[me] = rsBlocked
+	e.dispatch()
+	<-e.resume[me]
+	e.stop.checkStopped()
+}
+
+// wake moves a blocked rank back into the run queue at its current virtual
+// clock. Waking a rank that is already queued, running (a self-deposit) or
+// done is a no-op, which is what makes spurious wakes harmless.
+func (e *eventLoop) wake(i int32) {
+	if e.state[i] != rsBlocked {
+		return
+	}
+	e.state[i] = rsRunnable
+	e.push(i)
+	ctrSchedWakes.Inc()
+}
+
+// dispatch hands the execution token to the next runnable rank. On an
+// empty run queue it either declares completion (no live ranks) or virtual
+// deadlock (live ranks, all blocked). After the world is poisoned it
+// switches to the unwind sweep instead.
+func (e *eventLoop) dispatch() {
+	if e.stop.stopped() {
+		e.dispatchDrain()
+		return
+	}
+	if len(e.heap) > 0 {
+		i := e.pop()
+		e.state[i] = rsRunning
+		ctrSchedEvents.Inc()
+		e.dispatches++
+		if e.dispatches&63 == 0 {
+			histSchedHeapDepth.Observe(float64(len(e.heap)))
+		}
+		e.resume[i] <- struct{}{}
+		return
+	}
+	if e.nLive == 0 {
+		e.closeExited()
+		return
+	}
+	// Every live rank is parked and the run queue is empty: no deposit,
+	// drain or collective completion can ever arrive again.
+	close(e.stalled)
+}
+
+// dispatchDrain resumes live ranks one at a time so each unwinds through
+// its checkStopped; the cursor is monotone because a resumed rank can only
+// move to rsDone, and at most one rank (the token holder at poison time)
+// can park after the stop flag rises — its own dispatch is what starts the
+// sweep, so the cursor has not passed it.
+func (e *eventLoop) dispatchDrain() {
+	for e.drainNext < len(e.state) {
+		i := e.drainNext
+		e.drainNext++
+		if e.state[i] == rsRunnable || e.state[i] == rsBlocked {
+			e.state[i] = rsRunning
+			e.resume[i] <- struct{}{}
+			return
+		}
+	}
+	if e.nLive == 0 {
+		e.closeExited()
+	}
+}
+
+func (e *eventLoop) closeExited() {
+	if !e.exitClosed {
+		e.exitClosed = true
+		close(e.exited)
+	}
+}
+
+// entLess orders the run queue by virtual clock, rank index breaking ties —
+// the engine's fixed, documented tie-break (DESIGN.md §11).
+func entLess(a, b heapEnt) bool {
+	return a.clock < b.clock || (a.clock == b.clock && a.rank < b.rank)
+}
+
+func (e *eventLoop) push(i int32) {
+	ent := heapEnt{clock: e.ranks[i].clock, rank: i}
+	h := append(e.heap, ent)
+	e.heap = h
+	c := len(h) - 1
+	for c > 0 {
+		p := (c - 1) / 4
+		if !entLess(ent, h[p]) {
+			break
+		}
+		h[c] = h[p]
+		c = p
+	}
+	h[c] = ent
+}
+
+func (e *eventLoop) pop() int32 {
+	h := e.heap
+	top := h[0].rank
+	last := len(h) - 1
+	ent := h[last]
+	h = h[:last]
+	e.heap = h
+	if last == 0 {
+		return top
+	}
+	p := 0
+	for {
+		c := 4*p + 1
+		if c >= len(h) {
+			break
+		}
+		// Pick the least of the up-to-four children; they share a cache line.
+		m := c
+		if c+1 < len(h) && entLess(h[c+1], h[m]) {
+			m = c + 1
+		}
+		if c+2 < len(h) && entLess(h[c+2], h[m]) {
+			m = c + 2
+		}
+		if c+3 < len(h) && entLess(h[c+3], h[m]) {
+			m = c + 3
+		}
+		if !entLess(h[m], ent) {
+			break
+		}
+		h[p] = h[m]
+		p = m
+	}
+	h[p] = ent
+	return top
+}

@@ -1,0 +1,143 @@
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/netmodel"
+)
+
+// seqColl is the event engine's collSync: the same rendezvous algebra as
+// lockedColl — identical max-folds, identical completion formulas, so every
+// virtual clock is bit-identical — with the mutex, condition variable and
+// broadcast storm replaced by the scheduler's block/wake protocol. Only one
+// rank runs at a time under the event engine, so the round state needs no
+// synchronization at all: a non-last arriver registers itself as waiting
+// and hands the execution token away; the last arriver closes the round and
+// pushes every waiter back onto the run queue.
+type seqColl struct {
+	e *eventLoop
+	// members maps comm rank -> world rank, so a waiter can identify itself
+	// to the scheduler.
+	members []int
+
+	gen        uint64
+	arrived    int
+	maxClock   float64
+	maxShadow  float64
+	op         Op
+	payload    []any // per-comm-rank contribution (general rounds: split/dup)
+	maxPayload int   // running max contribution (fixed-cost rounds)
+
+	// waiting lists the world ranks parked on the current round. Spurious
+	// wakes (a deposit on a waiter's mailbox, say) may re-append a rank; the
+	// duplicate wake is a no-op in the scheduler.
+	waiting []int32
+
+	// Results of the completed round, readable until the next round ends. A
+	// later round cannot complete without every waiter of this round
+	// arriving again, so once gen advances these still belong to our round.
+	completion       float64
+	shadowCompletion float64
+	shared           any
+}
+
+func newSeqColl(e *eventLoop, members []int) *seqColl {
+	return &seqColl{e: e, members: members}
+}
+
+// arrive mirrors lockedColl.arrive; see collSync for the contract.
+func (cs *seqColl) arrive(commRank int, op Op, clock, shadow float64, contrib any,
+	finish func(maxClock float64, contribs []any) (completion float64, shared any)) (float64, float64, any) {
+	myGen := cs.gen
+	if cs.arrived == 0 {
+		cs.op = op
+		cs.maxClock = clock
+		cs.maxShadow = shadow
+		if cs.payload == nil {
+			cs.payload = make([]any, len(cs.members))
+		}
+	} else {
+		if cs.op != op {
+			panic(fmt.Sprintf("mpi: collective mismatch: rank %d called %v while round started with %v", commRank, op, cs.op))
+		}
+		if clock > cs.maxClock {
+			cs.maxClock = clock
+		}
+		if shadow > cs.maxShadow {
+			cs.maxShadow = shadow
+		}
+	}
+	cs.payload[commRank] = contrib
+	cs.arrived++
+
+	if cs.arrived == len(cs.members) {
+		contribs := append([]any(nil), cs.payload...)
+		cs.completion, cs.shared = finish(cs.maxClock, contribs)
+		cs.shadowCompletion = cs.maxShadow + (cs.completion - cs.maxClock)
+		for i := range cs.payload {
+			cs.payload[i] = nil
+		}
+		cs.finishRound()
+		return cs.completion, cs.shadowCompletion, cs.shared
+	}
+	cs.await(myGen, commRank)
+	return cs.completion, cs.shadowCompletion, cs.shared
+}
+
+// arriveFixed mirrors lockedColl.arriveFixed; see collSync for the contract.
+func (cs *seqColl) arriveFixed(commRank int, op Op, clock, shadow float64, contrib int,
+	m *netmodel.Model, cc collCost) (float64, float64) {
+	myGen := cs.gen
+	if cs.arrived == 0 {
+		cs.op = op
+		cs.maxClock = clock
+		cs.maxShadow = shadow
+		cs.maxPayload = 0
+	} else if cs.op != op {
+		panic(fmt.Sprintf("mpi: collective mismatch: rank %d called %v while round started with %v", commRank, op, cs.op))
+	} else {
+		if clock > cs.maxClock {
+			cs.maxClock = clock
+		}
+		if shadow > cs.maxShadow {
+			cs.maxShadow = shadow
+		}
+	}
+	if contrib > cs.maxPayload {
+		cs.maxPayload = contrib
+	}
+	cs.arrived++
+
+	if cs.arrived == len(cs.members) {
+		cs.completion = cs.maxClock + evalCollCost(m, cc, cs.maxPayload)
+		cs.shadowCompletion = cs.maxShadow + (cs.completion - cs.maxClock)
+		cs.shared = nil
+		cs.finishRound()
+		return cs.completion, cs.shadowCompletion
+	}
+	cs.await(myGen, commRank)
+	return cs.completion, cs.shadowCompletion
+}
+
+// finishRound advances the generation and releases every waiter onto the
+// run queue. Resetting waiting before the wakes is safe: the woken ranks
+// cannot run (and so cannot re-park) until the current rank hands the
+// execution token away.
+func (cs *seqColl) finishRound() {
+	cs.gen++
+	cs.arrived = 0
+	waiting := cs.waiting
+	cs.waiting = cs.waiting[:0]
+	for _, wr := range waiting {
+		cs.e.wake(wr)
+	}
+}
+
+// await parks the caller until the round it joined completes.
+func (cs *seqColl) await(myGen uint64, commRank int) {
+	me := int32(cs.members[commRank])
+	for cs.gen == myGen {
+		cs.waiting = append(cs.waiting, me)
+		cs.e.block(me)
+	}
+}

@@ -38,9 +38,13 @@ func TestCollectiveStress256(t *testing.T) {
 		r.Alltoall(w, 16)
 	}
 
-	fast, err := Run(n, netmodel.BlueGeneL(), body)
+	event, err := Run(n, netmodel.BlueGeneL(), body)
 	if err != nil {
-		t.Fatalf("fast runtime: %v", err)
+		t.Fatalf("event engine: %v", err)
+	}
+	fast, err := Run(n, netmodel.BlueGeneL(), body, WithGoroutineRuntime())
+	if err != nil {
+		t.Fatalf("goroutine runtime: %v", err)
 	}
 	ref, err := Run(n, netmodel.BlueGeneL(), body, WithReferenceCollectives())
 	if err != nil {
@@ -48,8 +52,12 @@ func TestCollectiveStress256(t *testing.T) {
 	}
 	for i := range ref.PerRankUS {
 		if fast.PerRankUS[i] != ref.PerRankUS[i] {
-			t.Fatalf("rank %d clock: fast %v, reference %v",
+			t.Fatalf("rank %d clock: goroutine %v, reference %v",
 				i, fast.PerRankUS[i], ref.PerRankUS[i])
+		}
+		if event.PerRankUS[i] != ref.PerRankUS[i] {
+			t.Fatalf("rank %d clock: event %v, reference %v",
+				i, event.PerRankUS[i], ref.PerRankUS[i])
 		}
 	}
 }

@@ -22,9 +22,20 @@ var (
 	ctrCollFastRounds = telemetry.NewCounter("mpi.coll_fast_rounds")
 	// ctrWildcardRecvs counts receives posted with AnySource.
 	ctrWildcardRecvs = telemetry.NewCounter("mpi.wildcard_recvs")
-	// ctrRunsCancelled counts runs torn down by context cancellation or the
-	// deadlock timeout (every rank goroutine unwinds either way).
+	// ctrRunsCancelled counts runs torn down by context cancellation, the
+	// deadlock timeout, or the event engine's instant deadlock proof (every
+	// rank goroutine unwinds either way).
 	ctrRunsCancelled = telemetry.NewCounter("mpi.runs_cancelled")
+	// ctrSchedEvents counts event-engine dispatches: each is one transfer of
+	// the execution token to a rank popped from the virtual-time run queue.
+	ctrSchedEvents = telemetry.NewCounter("mpi.sched_events")
+	// ctrSchedWakes counts blocked ranks pushed back onto the run queue by a
+	// matching deposit, a credit-releasing drain, or a completed collective.
+	ctrSchedWakes = telemetry.NewCounter("mpi.sched_wakes")
+	// histSchedHeapDepth samples the run-queue depth every 64th dispatch —
+	// sampling keeps the histogram's mutex off the dispatch hot path, whose
+	// instrumentation overhead is bounded by the telemetry guard test.
+	histSchedHeapDepth = telemetry.NewHistogram("mpi.sched_heap_depth")
 )
 
 // timelineTracer records each operation of one rank as a virtual-time span

@@ -91,6 +91,12 @@ func (m MultiTracer) Record(ev *Event) {
 // program counter: the compiler may inline a closure into several call
 // sites, duplicating its code, and the signature of one source location
 // must stay identical across such copies (and across ranks).
+//
+// The walk stops at rankMain, the shared bottom frame of every rank's
+// stack: everything below it belongs to whichever engine is driving the
+// run (goroutine spawn wrapper vs event-engine rankProc), and including
+// those frames would give the same source location different signatures
+// under different engines.
 func callSite() uint64 {
 	var pcs [48]uintptr
 	n := runtime.Callers(2, pcs[:])
@@ -99,6 +105,9 @@ func callSite() uint64 {
 	var buf [8]byte
 	for {
 		f, more := frames.Next()
+		if strings.HasSuffix(f.Function, "internal/mpi.rankMain") {
+			break
+		}
 		if f.Function != "" && !isRuntimeFrame(f.Function) {
 			h.Write([]byte(f.File))
 			binary.LittleEndian.PutUint64(buf[:], uint64(f.Line))

@@ -24,6 +24,10 @@ type World struct {
 	// stop poisons the world on cancellation or timeout so every rank
 	// goroutine unwinds instead of leaking (see cancel.go).
 	stop *runStop
+	// sched is the discrete-event engine driving this world, nil when the
+	// world runs on the goroutine-per-rank runtime (WithGoroutineRuntime or
+	// WithReferenceCollectives).
+	sched *eventLoop
 }
 
 // Result reports the outcome of a completed run.
@@ -35,10 +39,11 @@ type Result struct {
 }
 
 type config struct {
-	tracerFor func(rank int) Tracer
-	timeout   time.Duration
-	refColl   bool
-	ctx       context.Context
+	tracerFor   func(rank int) Tracer
+	timeout     time.Duration
+	refColl     bool
+	goroutineRT bool
+	ctx         context.Context
 }
 
 // Option configures a Run.
@@ -51,14 +56,17 @@ func WithTracer(f func(rank int) Tracer) Option {
 
 // WithTimeout bounds the real (wall-clock) duration of the run. A run that
 // exceeds it is reported as a suspected deadlock. The default is 60 seconds.
+// The event engine usually reports a true messaging deadlock long before any
+// timeout: it proves the condition the moment its event queue empties with
+// ranks still blocked.
 func WithTimeout(d time.Duration) Option {
 	return func(c *config) { c.timeout = d }
 }
 
 // WithContext bounds the run by ctx: when ctx is cancelled (or its deadline
-// passes) the run is torn down — every rank goroutine, blocked or computing,
-// unwinds — and Run returns an error wrapping ctx.Err(). This is how a
-// service-side per-job timeout reaches all the way into the simulated world.
+// passes) the run is torn down — every rank, blocked or computing, unwinds —
+// and Run returns an error wrapping ctx.Err(). This is how a service-side
+// per-job timeout reaches all the way into the simulated world.
 func WithContext(ctx context.Context) Option {
 	return func(c *config) { c.ctx = ctx }
 }
@@ -66,16 +74,50 @@ func WithContext(ctx context.Context) Option {
 // WithReferenceCollectives runs every communicator's collectives through the
 // original mutex+cond rendezvous instead of the atomic combining barrier.
 // Virtual-time results are bit-identical either way; the reference path
-// exists so differential tests can prove exactly that.
+// exists so differential tests can prove exactly that. It implies
+// WithGoroutineRuntime: the mutex+cond rendezvous needs concurrently
+// runnable ranks.
 func WithReferenceCollectives() Option {
 	return func(c *config) { c.refColl = true }
 }
 
+// WithGoroutineRuntime runs the world on the original goroutine-per-rank
+// runtime — every rank an OS-scheduled goroutine, blocking on channels,
+// mutexes and condition variables — instead of the default discrete-event
+// engine. Virtual-time results are bit-identical either way (the
+// differential suite proves it per application kernel); the goroutine
+// runtime is retained as the semantic reference and for its incidental
+// property of exercising the transport under real concurrency, which the
+// race-detector builds rely on.
+func WithGoroutineRuntime() Option {
+	return func(c *config) { c.goroutineRT = true }
+}
+
+// denseSrcIndexRanks bounds the world size that uses dense per-source
+// mailbox indexes. The dense form is one pointer-free int32 slab of n² —
+// 64 MiB at 4096 ranks, but 16 TiB at 65536 — so larger worlds fall back
+// to lazy per-mailbox maps, which stay small because each rank talks to
+// O(log n) peers in every kernel this repo models.
+const denseSrcIndexRanks = 4096
+
+// rankMain is the shared bottom frame of every rank's execution under both
+// runtimes: Init event, application body, Finalize. Keeping it a single
+// named function matters beyond tidiness — callSite() hashes the call path
+// below the application body and truncates the walk at this frame, so a
+// source location hashes identically no matter which engine drives it.
+func rankMain(r *Rank, body func(*Rank)) {
+	r.record(r.enter(), &Event{Op: OpInit, CommID: 0, CommSize: r.w.n,
+		Peer: NoPeer, PeerWorld: NoPeer, Root: -1})
+	body(r)
+	r.Finalize()
+}
+
 // Run executes body on n simulated ranks over the given network model and
-// waits for completion. Each rank runs in its own goroutine with its own
-// virtual clock. Run returns an error if any rank panics or if the run does
-// not complete within the (real-time) timeout, which almost always indicates
-// a messaging deadlock in body.
+// waits for completion. By default ranks advance on a single-threaded
+// discrete-event engine in virtual-time order (see scheduler.go), which is
+// what lets one process host hundreds of thousands of ranks. Run returns an
+// error if any rank panics, if the ranks deadlock, or if the run does not
+// complete within the (real-time) timeout.
 func Run(n int, model *netmodel.Model, body func(*Rank), opts ...Option) (*Result, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("mpi: world size %d must be positive", n)
@@ -94,18 +136,35 @@ func Run(n int, model *netmodel.Model, body func(*Rank), opts ...Option) (*Resul
 		}
 	}
 
+	w := &World{n: n, model: model, mailboxes: make([]*mailbox, n), refColl: cfg.refColl,
+		stop: newRunStop()}
+	if !cfg.goroutineRT && !cfg.refColl {
+		w.sched = newEventLoop(n, w.stop)
+	}
+
 	// World-sized state is carved from a handful of backing arrays rather
 	// than allocated per rank: the mailboxes, their per-source indexes and
 	// the rank structs each cost one allocation for the whole world, and
 	// the index slab holds no pointers for the garbage collector to scan.
-	w := &World{n: n, model: model, mailboxes: make([]*mailbox, n), refColl: cfg.refColl,
-		stop: newRunStop()}
+	// Worlds beyond denseSrcIndexRanks skip the n² slab (see the constant).
 	mbs := make([]mailbox, n)
-	srcIdx := make([]int32, n*n)
+	var srcIdx []int32
+	if n <= denseSrcIndexRanks {
+		srcIdx = make([]int32, n*n)
+	}
 	for i := range w.mailboxes {
-		mbs[i].initMailbox(srcIdx[i*n:(i+1)*n:(i+1)*n], w.stop)
+		var idx []int32
+		if srcIdx != nil {
+			idx = srcIdx[i*n : (i+1)*n : (i+1)*n]
+		}
+		mbs[i].initMailbox(idx, int32(i), w.stop, w.sched)
 		w.mailboxes[i] = &mbs[i]
-		w.stop.register(&mbs[i].cond)
+		if w.sched == nil {
+			// Event-mode mailboxes never wait on their condition variables,
+			// so registering them with the stop latch would only slow the
+			// trigger broadcast at large n.
+			w.stop.register(&mbs[i].cond)
+		}
 	}
 	group := make([]int, n)
 	for i := range group {
@@ -123,6 +182,17 @@ func Run(n int, model *netmodel.Model, body func(*Rank), opts ...Option) (*Resul
 		}
 	}
 
+	if w.sched != nil {
+		return runEvent(w, cfg, ranks, body)
+	}
+	return runGoroutine(w, cfg, ranks, body)
+}
+
+// runGoroutine is the original runtime: one OS-scheduled goroutine per
+// rank, all runnable at once, blocking on the transport's mutexes and
+// condition variables. Retained behind WithGoroutineRuntime as the
+// semantic reference for the event engine.
+func runGoroutine(w *World, cfg config, ranks []Rank, body func(*Rank)) (*Result, error) {
 	var (
 		wg       sync.WaitGroup
 		panicMu  sync.Mutex
@@ -144,10 +214,7 @@ func Run(n int, model *netmodel.Model, body func(*Rank), opts ...Option) (*Resul
 					panicMu.Unlock()
 				}
 			}()
-			r.record(r.enter(), &Event{Op: OpInit, CommID: 0, CommSize: n,
-				Peer: NoPeer, PeerWorld: NoPeer, Root: -1})
-			body(r)
-			r.Finalize()
+			rankMain(r, body)
 		}(&ranks[i])
 	}
 
@@ -194,13 +261,90 @@ func Run(n int, model *netmodel.Model, body func(*Rank), opts ...Option) (*Resul
 	if timedOut {
 		return nil, fmt.Errorf("mpi: run did not complete within %v (deadlock suspected)", cfg.timeout)
 	}
+	return collectResult(ranks), nil
+}
 
-	res := &Result{PerRankUS: make([]float64, n)}
+// runEvent drives the world on the discrete-event engine. The rank
+// goroutines are coroutines under the engine's execution token; this
+// goroutine only seeds the run queue and then waits for one of four
+// outcomes: completion, virtual deadlock (proven, not suspected), the
+// wall-clock timeout, or context cancellation.
+func runEvent(w *World, cfg config, ranks []Rank, body func(*Rank)) (*Result, error) {
+	e := w.sched
+	e.ranks = ranks
+	for i := range ranks {
+		go e.rankProc(&ranks[i], body)
+	}
+	e.start()
+
+	var ctxDone <-chan struct{}
+	if cfg.ctx != nil {
+		ctxDone = cfg.ctx.Done()
+	}
+	timer := time.NewTimer(cfg.timeout)
+	defer timer.Stop()
+	var (
+		timedOut, deadlocked bool
+		ctxErr               error
+	)
+	select {
+	case <-e.exited:
+	case <-e.stalled:
+		// The engine proved a deadlock: the run queue emptied with live
+		// ranks still blocked. Poison the world and sweep the parked ranks
+		// so they unwind instead of leaking.
+		deadlocked = true
+		ctrRunsCancelled.Inc()
+		w.stop.trigger()
+		e.dispatch()
+		<-e.exited
+	case <-timer.C:
+		timedOut = true
+		ctrRunsCancelled.Inc()
+		w.stop.trigger()
+		e.awaitQuiesce()
+	case <-ctxDone:
+		ctxErr = cfg.ctx.Err()
+		ctrRunsCancelled.Inc()
+		w.stop.trigger()
+		e.awaitQuiesce()
+	}
+
+	if len(e.panics) > 0 {
+		return nil, e.panics[0]
+	}
+	if ctxErr != nil {
+		return nil, fmt.Errorf("mpi: run cancelled: %w", ctxErr)
+	}
+	if timedOut {
+		return nil, fmt.Errorf("mpi: run did not complete within %v (deadlock suspected)", cfg.timeout)
+	}
+	if deadlocked {
+		return nil, fmt.Errorf("mpi: deadlock detected: every live rank is blocked and no event is pending")
+	}
+	return collectResult(ranks), nil
+}
+
+// awaitQuiesce waits for a poisoned event-engine world to finish unwinding.
+// If the token chain was active at trigger time its next dispatch starts
+// the drain sweep on its own; if the chain had already stalled (the stalled
+// close raced the trigger) the sweep must be kicked from here.
+func (e *eventLoop) awaitQuiesce() {
+	select {
+	case <-e.exited:
+	case <-e.stalled:
+		e.dispatch()
+		<-e.exited
+	}
+}
+
+func collectResult(ranks []Rank) *Result {
+	res := &Result{PerRankUS: make([]float64, len(ranks))}
 	for i := range ranks {
 		res.PerRankUS[i] = ranks[i].clock
 		if ranks[i].clock > res.ElapsedUS {
 			res.ElapsedUS = ranks[i].clock
 		}
 	}
-	return res, nil
+	return res
 }

@@ -20,10 +20,17 @@ import (
 
 // MaxRunnableRanks caps the world size the daemon will simulate. The trace
 // codec's own bound (trace.MaxDecodeRanks) only protects the parser; running
-// a simulated world costs n goroutines plus an n*n mailbox index slab, so a
-// hostile few-byte upload declaring a huge nprocs must be refused at
-// admission, not discovered as an allocation failure inside a worker.
-const MaxRunnableRanks = 4096
+// a simulated world still costs real per-rank memory and event-loop time, so
+// a hostile few-byte upload declaring a huge nprocs must be refused at
+// admission, not discovered as an allocation failure inside a worker. The
+// ceiling is the discrete-event engine's proven scale (it runs a 65536-rank
+// world in seconds — see mpi's TestEventEngineScales65536 and BENCH_6.json).
+// The old 4096 cap dated from the runtime's n² dense mailbox index slab (16
+// TiB at 65536 ranks, now sparse above mpi's denseSrcIndexRanks) and from
+// scheduling n concurrent goroutines; the event engine's token discipline
+// keeps all but one parked, so world size no longer multiplies scheduler
+// pressure.
+const MaxRunnableRanks = 65536
 
 // Request is one benchmark-generation request. Exactly one of App or Trace
 // must be set: App names a workload from the built-in suite to trace first,
