@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: test check bench bench6 bench-all race timeline serve
+.PHONY: test check bench bench6 bench7 bench-all race timeline serve
 
 test:
 	$(GO) test ./...
@@ -18,6 +18,7 @@ check:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/trace/... ./internal/mpi/... ./internal/conceptual/... ./internal/harness/... ./internal/telemetry/... ./internal/service/...
 	$(GO) test -race -run 'TestEventEngineMatchesGoroutineRuntime|TestRunToRunDeterminism' .
+	$(GO) test -race -short -run 'TestReplayRepresentationsBitIdentical|TestPooledWorldDeterminism|TestPooledReplayDeterminism' .
 	$(GO) test -run NONE -fuzz FuzzDecode -fuzztime 10s ./internal/trace/
 
 race:
@@ -35,19 +36,30 @@ bench:
 		$(GO) run ./cmd/benchjson -merge BENCH_3.json > BENCH_3.json.tmp
 	mv BENCH_3.json.tmp BENCH_3.json
 
-# bench6 refreshes BENCH_6.json, the discrete-event scheduler baseline: the
-# 1k -> 256k rank-scaling curve (one world per point — a 262144-rank world is
-# tens of seconds, so -benchtime 1x) and the incast contention series at
-# GOMAXPROCS 1 and 4, whose engine_speedups ratios record how far the
+# bench6 refreshes BENCH_6.json, the incast-contention baseline: the series
+# at GOMAXPROCS 1 and 4, whose engine_speedups ratios record how far the
 # goroutine runtime's condvar broadcast storms fall behind the event engine
-# once more than one P is in play. Two invocations merge into one document.
+# once more than one P is in play. (The rank-scaling curve that used to live
+# here moved to bench7, re-measured warm on the world pool; BENCH_6.json
+# keeps the historical cold curve.)
 bench6:
-	$(GO) test -run NONE -bench BenchmarkRankScaling -benchtime 1x -benchmem -timeout 30m . \
-		| tee /dev/stderr | $(GO) run ./cmd/benchjson -series -merge BENCH_6.json > BENCH_6.json.tmp
-	mv BENCH_6.json.tmp BENCH_6.json
 	$(GO) test -run NONE -bench BenchmarkIncastContention -benchtime 3x -cpu 1,4 -benchmem -timeout 30m . \
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson -series -merge BENCH_6.json > BENCH_6.json.tmp
 	mv BENCH_6.json.tmp BENCH_6.json
+
+# bench7 refreshes BENCH_7.json, the world-reuse and stackless-rank baseline:
+# the rank-scaling curve re-measured warm (stackless cursors on a pooled
+# world — the long-lived-host configuration) from 1k to 1M ranks next to the
+# cold and goroutine series, and the 65536-rank cold-vs-warm world setup gap
+# the Engine pool buys. -benchtime 1x: one world per data point — a 1M-rank
+# world is minutes. Two invocations merge into one document.
+bench7:
+	$(GO) test -run NONE -bench BenchmarkRankScaling -benchtime 1x -benchmem -timeout 60m . \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson -series -merge BENCH_7.json > BENCH_7.json.tmp
+	mv BENCH_7.json.tmp BENCH_7.json
+	$(GO) test -run NONE -bench BenchmarkWorldSetup -benchtime 1x -benchmem -timeout 60m . \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson -series -merge BENCH_7.json > BENCH_7.json.tmp
+	mv BENCH_7.json.tmp BENCH_7.json
 
 # bench-all runs the full evaluation-reproduction suite without touching the
 # recorded baseline.

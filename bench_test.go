@@ -10,6 +10,7 @@ package repro
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"repro/internal/align"
 	"repro/internal/apps"
@@ -482,27 +483,87 @@ func rankScalingBody(n int) func(*mpi.Rank) {
 	}
 }
 
-// rankScalingEventSizes is the 1k -> 256k curve the discrete-event engine is
-// measured on; the goroutine runtime is measured up to 65536 (a 262144-rank
-// world spawns 262144 concurrent goroutines, which the benchmark host may
-// not have memory headroom for; the event engine's token discipline keeps
-// all but one of them parked from the Go scheduler's point of view).
+// ringStream is rankScalingBody compiled by hand into the stackless op
+// representation: the identical ring-exchange schedule, delivered one RankOp
+// at a time so a rank costs a cursor and a mailbox rather than a goroutine
+// and a stack. The 1M-rank point of the scaling curve runs on this.
+type ringStream struct {
+	n, rank, step, idx int
+}
+
+const ringSteps = 4
+
+func (s *ringStream) Next(*mpi.Rank) (mpi.RankOp, bool) {
+	if s.step < ringSteps {
+		op := mpi.RankOp{}
+		switch s.idx {
+		case 0:
+			op = mpi.RankOp{Op: mpi.OpIsend, Peer: (s.rank + 1) % s.n, Tag: s.step, Size: 1024}
+		case 1:
+			op = mpi.RankOp{Op: mpi.OpIrecv, Peer: (s.rank + s.n - 1) % s.n, Tag: s.step, Size: 1024}
+		case 2:
+			op = mpi.RankOp{Op: mpi.OpWaitall}
+		case 3:
+			op = mpi.RankOp{Op: mpi.OpAllreduce, ComputeUS: 5, Size: 8}
+		}
+		if s.idx++; s.idx == 4 {
+			s.idx = 0
+			s.step++
+		}
+		return op, true
+	}
+	if s.idx == 0 {
+		s.idx++
+		return mpi.RankOp{Op: mpi.OpBarrier}, true
+	}
+	return mpi.RankOp{}, false
+}
+
+// rankScalingEventSizes is the 1k -> 1M curve the discrete-event engine is
+// measured on: stackless replay ranks on a pooled world, the configuration a
+// long-lived host (harness worker, benchd job body) actually runs. The cold
+// series re-runs the same workload on a fresh world each time — the BENCH_6
+// configuration — so the cold-vs-warm gap is the pooling win; the goroutine
+// runtime is measured up to 65536 (a 1M-rank world would spawn 1M concurrent
+// goroutines — 8 GiB of minimum stacks before any payload).
 var (
-	rankScalingEventSizes     = []int{1024, 4096, 16384, 65536, 262144}
+	rankScalingEventSizes     = []int{1024, 4096, 16384, 65536, 262144, 1048576}
+	rankScalingColdSizes      = []int{1024, 4096, 16384, 65536}
 	rankScalingGoroutineSizes = []int{1024, 4096, 16384, 65536}
 )
 
-// BenchmarkRankScaling records the rank-scaling curve behind BENCH_6.json
+// runScalingStackless runs the ring workload as stackless cursors, optionally
+// on a pooled engine.
+func runScalingStackless(n int, eng *mpi.Engine) error {
+	opts := []mpi.Option{mpi.WithTimeout(30 * time.Minute)}
+	if eng != nil {
+		opts = append(opts, mpi.WithEngine(eng))
+	}
+	_, err := mpi.RunStackless(n, netmodel.BlueGeneL(), func(rank int) mpi.OpStream {
+		return &ringStream{n: n, rank: rank}
+	}, opts...)
+	return err
+}
+
+// BenchmarkRankScaling records the rank-scaling curve behind BENCH_7.json
 // and service.MaxRunnableRanks: ns/op and allocs/op versus world size for
-// the discrete-event engine (1k -> 256k ranks) and the goroutine runtime at
-// the sizes it can reach. Run via `make bench6` with -benchtime=1x: one
-// world per data point, since a 262144-rank world is tens of seconds.
+// the warm (pooled, stackless) event engine at 1k -> 1M ranks, the cold
+// event engine, and the goroutine runtime at the sizes it can reach. Each
+// warm series point runs one untimed warmup so the measured iteration sees
+// the steady state a long-lived host sees — under `make bench7`'s
+// -benchtime=1x the previous curve conflated world construction with
+// execution and showed the event engine losing to the goroutine runtime at
+// several scales (BENCH_6). Run via `make bench7`: one world per data point,
+// since a 1M-rank world is minutes.
 func BenchmarkRankScaling(b *testing.B) {
-	for _, n := range rankScalingEventSizes {
-		b.Run(fmt.Sprintf("event-%dranks", n), func(b *testing.B) {
+	// The pool-less series run first, before the warm series fills the
+	// engine with worlds up to 1M ranks — a resident multi-GiB pool would
+	// tax every later GC cycle and bleed into the cold measurements.
+	for _, n := range rankScalingColdSizes {
+		b.Run(fmt.Sprintf("eventcold-%dranks", n), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := mpi.Run(n, netmodel.BlueGeneL(), rankScalingBody(n)); err != nil {
+				if err := runScalingStackless(n, nil); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -513,12 +574,75 @@ func BenchmarkRankScaling(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := mpi.Run(n, netmodel.BlueGeneL(), rankScalingBody(n),
-					mpi.WithGoroutineRuntime()); err != nil {
+					mpi.WithGoroutineRuntime(), mpi.WithTimeout(30*time.Minute)); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
 	}
+	eng := mpi.NewEngine()
+	defer eng.Close()
+	for _, n := range rankScalingEventSizes {
+		b.Run(fmt.Sprintf("event-%dranks", n), func(b *testing.B) {
+			b.ReportAllocs()
+			if err := runScalingStackless(n, eng); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := runScalingStackless(n, eng); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// barrierStream is the minimal stackless body: one barrier, then done.
+type barrierStream struct{ done bool }
+
+func (s *barrierStream) Next(*mpi.Rank) (mpi.RankOp, bool) {
+	if s.done {
+		return mpi.RankOp{}, false
+	}
+	s.done = true
+	return mpi.RankOp{Op: mpi.OpBarrier}, true
+}
+
+// BenchmarkWorldSetup isolates the cost the pool removes: a 65536-rank world
+// running a barrier-only stackless body — execution is a few ops per rank,
+// so the measurement is dominated by standing the world up — built fresh
+// each iteration (cold) versus reset from the pool (warm: rank structs,
+// mailboxes with their source indexes, arenas and the scheduler slab all
+// survive). The acceptance bar for the pool is warm at least 2x cheaper
+// than cold at this size; BENCH_7.json records the measured gap.
+func BenchmarkWorldSetup(b *testing.B) {
+	const n = 65536
+	progFor := func(rank int) mpi.OpStream { return &barrierStream{} }
+	opts := []mpi.Option{mpi.WithTimeout(30 * time.Minute)}
+	b.Run(fmt.Sprintf("cold-%dranks", n), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := mpi.RunStackless(n, netmodel.BlueGeneL(), progFor, opts...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run(fmt.Sprintf("warm-%dranks", n), func(b *testing.B) {
+		b.ReportAllocs()
+		eng := mpi.NewEngine()
+		defer eng.Close()
+		wopts := append([]mpi.Option{mpi.WithEngine(eng)}, opts...)
+		if _, err := mpi.RunStackless(n, netmodel.BlueGeneL(), progFor, wopts...); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := mpi.RunStackless(n, netmodel.BlueGeneL(), progFor, wopts...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // incastBody is the BenchmarkIncastContention workload: every rank streams k

@@ -35,6 +35,19 @@ var poolOverride atomic.Int32
 // run the harness starts. Zero keeps the runtime default.
 var runTimeoutNS atomic.Int64
 
+// sharedEngine pools simulated worlds across every run the harness starts.
+// Experiment batches replay the same few world sizes dozens of times (trace,
+// generate, replay, what-if variants), so after the first configuration at a
+// size every later one gets a warm world. The pool is safe for the
+// fan-out workers to share, and pooling never changes results — the
+// pooled-determinism suite pins warm runs bit-identical to cold ones.
+var sharedEngine = mpi.NewEngine()
+
+// SharedEngine exposes the harness's world pool so co-hosted components
+// (benchd's pipeline stages) reuse the same warm worlds instead of
+// maintaining a second pool.
+func SharedEngine() *mpi.Engine { return sharedEngine }
+
 // SetParallelism sets how many experiment configurations run concurrently.
 // k <= 0 restores the default (GOMAXPROCS). Results are identical for every
 // worker count.
@@ -62,12 +75,14 @@ func SetRunTimeout(d time.Duration) {
 	runTimeoutNS.Store(int64(d))
 }
 
-// runOptions returns the mpi options every harness-started run receives.
+// runOptions returns the mpi options every harness-started run receives:
+// the shared world pool, plus the configured wall-clock deadline if any.
 func runOptions() []mpi.Option {
+	opts := []mpi.Option{mpi.WithEngine(sharedEngine)}
 	if d := time.Duration(runTimeoutNS.Load()); d > 0 {
-		return []mpi.Option{mpi.WithTimeout(d)}
+		opts = append(opts, mpi.WithTimeout(d))
 	}
-	return nil
+	return opts
 }
 
 // forEach runs fn(i) for every i in [0, n) on up to Parallelism() workers.

@@ -66,6 +66,20 @@ func (s *runStop) trigger() {
 	}
 }
 
+// reset re-arms a triggered stop for the next run on a pooled world. It is
+// only safe after the previous run has fully quiesced (every rank goroutine
+// parked or unwound, Run returned): no waiter can be parked on the old
+// channel, and event-engine worlds register no condition variables, so
+// dropping the conds slice loses nothing. The engine pool calls this from
+// the single goroutine that owns the world between runs.
+func (s *runStop) reset() {
+	s.flag.Store(false)
+	s.ch = make(chan struct{})
+	s.mu.Lock()
+	s.conds = s.conds[:0]
+	s.mu.Unlock()
+}
+
 // runStopped is the panic sentinel a rank goroutine unwinds with after its
 // run was cancelled. Run's recover treats it as orderly teardown, not a
 // user-code panic.

@@ -159,6 +159,120 @@ func TestRunTimeoutGoroutineRuntime(t *testing.T) {
 	waitForGoroutines(t, base)
 }
 
+// cleanBody is a small body that exercises point-to-point and collective
+// paths and completes; pooled-reuse tests run it to prove a world is still
+// healthy after an aborted run.
+func cleanBody(r *Rank) {
+	r.Barrier(r.World())
+	if r.Rank() == 0 {
+		r.Send(r.World(), 1, 5, 64)
+	} else if r.Rank() == 1 {
+		r.Recv(r.World(), 0, 5, 64)
+	}
+	r.Allreduce(r.World(), 8)
+}
+
+// TestPooledWorldCancelThenReuse is the poison-safety proof for the world
+// pool: a pooled run is cancelled mid-flight (ranks parked in a collective,
+// deposits queued, the stop latch tripped), and the very same world — it
+// re-enters the pool on return — must then complete a clean run with results
+// identical to a fresh world's, after which Close drains every persistent
+// rank goroutine.
+func TestPooledWorldCancelThenReuse(t *testing.T) {
+	base := runtime.NumGoroutine()
+	eng := NewEngine()
+
+	want, err := Run(8, netmodel.Ideal(), cleanBody)
+	if err != nil {
+		t.Fatalf("fresh run: %v", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	_, err = Run(8, netmodel.Ideal(), foreverBody,
+		WithEngine(eng), WithContext(ctx), WithTimeout(30*time.Second))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pooled run error %v does not wrap context.Canceled", err)
+	}
+
+	for pass := 1; pass <= 2; pass++ {
+		got, err := Run(8, netmodel.Ideal(), cleanBody, WithEngine(eng))
+		if err != nil {
+			t.Fatalf("pooled run %d after cancel: %v", pass, err)
+		}
+		for i := range want.PerRankUS {
+			if got.PerRankUS[i] != want.PerRankUS[i] {
+				t.Errorf("pass %d rank %d clock %v after cancel, want %v",
+					pass, i, got.PerRankUS[i], want.PerRankUS[i])
+			}
+		}
+	}
+
+	eng.Close()
+	waitForGoroutines(t, base)
+}
+
+// TestPooledWorldDeadlockThenReuse runs the same poison scrub for the event
+// engine's instant deadlock proof and for a stackless run on the same pool:
+// both abort paths must leave the world reusable for either representation.
+func TestPooledWorldDeadlockThenReuse(t *testing.T) {
+	base := runtime.NumGoroutine()
+	eng := NewEngine()
+
+	_, err := Run(8, netmodel.Ideal(), blockedBody, WithEngine(eng))
+	if err == nil || !strings.Contains(err.Error(), "deadlock detected") {
+		t.Fatalf("pooled run error = %v, want instant deadlock detection", err)
+	}
+
+	want, err := Run(8, netmodel.Ideal(), cleanBody)
+	if err != nil {
+		t.Fatalf("fresh run: %v", err)
+	}
+	got, err := Run(8, netmodel.Ideal(), cleanBody, WithEngine(eng))
+	if err != nil {
+		t.Fatalf("pooled run after deadlock: %v", err)
+	}
+	for i := range want.PerRankUS {
+		if got.PerRankUS[i] != want.PerRankUS[i] {
+			t.Errorf("rank %d clock %v after deadlock, want %v", i, got.PerRankUS[i], want.PerRankUS[i])
+		}
+	}
+
+	// A stackless run on the same pooled world: the deadlocked coroutine run
+	// and the cursor run share every world structure except the rank
+	// representation.
+	res, err := RunStackless(8, netmodel.Ideal(), func(rank int) OpStream {
+		return &sliceStream{ops: []RankOp{{Op: OpBarrier}, {Op: OpAllreduce, Size: 8}}}
+	}, WithEngine(eng))
+	if err != nil {
+		t.Fatalf("stackless run on pooled world: %v", err)
+	}
+	if len(res.PerRankUS) != 8 {
+		t.Fatalf("stackless result has %d ranks, want 8", len(res.PerRankUS))
+	}
+
+	eng.Close()
+	waitForGoroutines(t, base)
+}
+
+// sliceStream feeds a fixed op slice to the stackless executor.
+type sliceStream struct {
+	ops []RankOp
+	i   int
+}
+
+func (s *sliceStream) Next(*Rank) (RankOp, bool) {
+	if s.i >= len(s.ops) {
+		return RankOp{}, false
+	}
+	op := s.ops[s.i]
+	s.i++
+	return op, true
+}
+
 // TestRunContextUncancelledIsHarmless pins that merely passing a live context
 // changes nothing about a successful run.
 func TestRunContextUncancelledIsHarmless(t *testing.T) {

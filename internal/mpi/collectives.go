@@ -184,6 +184,37 @@ func (r *Rank) ReduceScatter(c *Comm, counts []int) {
 		collCost{kind: costTree, p: p, factor: 2, div: maxInt(p, 1)}, total, -1, counts)
 }
 
+// splitFinish returns the round-close function for a CommSplit over c: it
+// partitions the contributed splitKeys into groups and mints the new
+// communicators. Shared with the stackless executor, which closes rounds
+// from the drive loop rather than from inside CommSplit.
+func (w *World) splitFinish(c *Comm) func(maxClock float64, contribs []any) (float64, any) {
+	return func(maxClock float64, contribs []any) (float64, any) {
+		groups := splitGroups(contribs)
+		// Assign new communicator IDs in sorted color order so that
+		// identical programs produce identical comm IDs run after run;
+		// trace comparison depends on this determinism.
+		colors := make([]int, 0, len(groups))
+		for col := range groups {
+			colors = append(colors, col)
+		}
+		sort.Ints(colors)
+		comms := make(map[int]*Comm, len(groups))
+		for _, col := range colors {
+			comms[col] = newComm(w, int(atomic.AddInt64(&w.nextCommID, 1)), groups[col])
+		}
+		return maxClock + w.model.BarrierUS(c.Size()), comms
+	}
+}
+
+// dupFinish returns the round-close function for a CommDup of c.
+func (w *World) dupFinish(c *Comm) func(maxClock float64, contribs []any) (float64, any) {
+	return func(maxClock float64, _ []any) (float64, any) {
+		nc := newComm(w, int(atomic.AddInt64(&w.nextCommID, 1)), c.group)
+		return maxClock + w.model.BarrierUS(c.Size()), nc
+	}
+}
+
 // CommSplit partitions c into disjoint communicators by color, ordering each
 // new communicator by (key, world rank), per MPI_Comm_split. A negative
 // color opts out and returns nil.
@@ -193,22 +224,7 @@ func (r *Rank) CommSplit(c *Comm, color, key int) *Comm {
 	me := r.myCommRank(c)
 	contrib := splitKey{color: color, key: key, worldRank: r.rank}
 	completion, shadowDone, shared := c.sync.arrive(me, OpCommSplit, r.clock, r.shadow, contrib,
-		func(maxClock float64, contribs []any) (float64, any) {
-			groups := splitGroups(contribs)
-			// Assign new communicator IDs in sorted color order so that
-			// identical programs produce identical comm IDs run after run;
-			// trace comparison depends on this determinism.
-			colors := make([]int, 0, len(groups))
-			for col := range groups {
-				colors = append(colors, col)
-			}
-			sort.Ints(colors)
-			comms := make(map[int]*Comm, len(groups))
-			for _, col := range colors {
-				comms[col] = newComm(r.w, int(atomic.AddInt64(&r.w.nextCommID, 1)), groups[col])
-			}
-			return maxClock + r.w.model.BarrierUS(c.Size()), comms
-		})
+		r.w.splitFinish(c))
 	r.clock = completion
 	r.shadow = shadowDone
 	comms := shared.(map[int]*Comm)
@@ -229,10 +245,7 @@ func (r *Rank) CommDup(c *Comm) *Comm {
 	st := r.enter()
 	me := r.myCommRank(c)
 	completion, shadowDone, shared := c.sync.arrive(me, OpCommDup, r.clock, r.shadow, nil,
-		func(maxClock float64, _ []any) (float64, any) {
-			nc := newComm(r.w, int(atomic.AddInt64(&r.w.nextCommID, 1)), c.group)
-			return maxClock + r.w.model.BarrierUS(c.Size()), nc
-		})
+		r.w.dupFinish(c))
 	r.clock = completion
 	r.shadow = shadowDone
 	nc := shared.(*Comm)

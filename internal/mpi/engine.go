@@ -1,0 +1,198 @@
+package mpi
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/netmodel"
+	"repro/internal/telemetry"
+)
+
+// Engine is a pool of reusable simulated worlds. Building a world is the
+// dominant cost of a Run at large rank counts — world-sized slabs, per-rank
+// goroutines with fresh (and then growing) stacks, and the garbage the
+// previous world left behind — so long-lived hosts (harness workers, benchd
+// job bodies, benchmark loops) hold an Engine across Runs and pass it via
+// WithEngine: a Run at a world size the pool has seen before reuses the
+// cached world with an O(active-ranks) reset.
+//
+// What survives between runs: the rank array (with its grown allocation
+// arenas), the mailboxes (with their per-source indexes and grown queue
+// capacities), the scheduler's run-queue slab, the world communicator's
+// rendezvous, the stackless cursors, and — for coroutine bodies — the
+// parked rank goroutines with their grown stacks. What a reset clears is
+// exactly the per-run state, so results are bit-identical to a fresh world
+// (the pooled-determinism test pins this across every kernel).
+//
+// An Engine is safe for concurrent use. Worlds are pooled per size; a run
+// at a new size is a miss that builds cold. Cancelled, timed-out, panicked
+// and deadlocked runs quiesce before Run returns, so their worlds re-enter
+// the pool and the next reset scrubs the poison (pinned by the pooled
+// cancellation test).
+type Engine struct {
+	mu          sync.Mutex
+	free        map[int][]*pooledWorld
+	cachedRanks int
+	maxRanks    int
+	closed      bool
+}
+
+// pooledWorld pairs a reusable world with its rank array.
+type pooledWorld struct {
+	w     *World
+	ranks []Rank
+}
+
+// engineMaxCachedRanks bounds the total ranks an Engine retains: 2M ranks
+// covers the full benchmark curve (one 1M-rank world plus change) while
+// capping retained memory; larger pools would mostly cache worlds no one
+// re-requests.
+const engineMaxCachedRanks = 2 << 20
+
+// NewEngine returns an empty world pool.
+func NewEngine() *Engine {
+	return &Engine{free: make(map[int][]*pooledWorld), maxRanks: engineMaxCachedRanks}
+}
+
+// Close empties the pool and stops every cached world's persistent rank
+// goroutines. The engine remains usable — subsequent runs simply build cold
+// and are not re-cached — so a racing Run never observes a closed pool as
+// an error.
+func (g *Engine) Close() {
+	g.mu.Lock()
+	g.closed = true
+	var all []*pooledWorld
+	for n, l := range g.free {
+		all = append(all, l...)
+		delete(g.free, n)
+	}
+	g.cachedRanks = 0
+	g.mu.Unlock()
+	for _, pw := range all {
+		pw.w.sched.stopPersistent()
+	}
+}
+
+// run executes one pooled run: exactly one of body (coroutine ranks) or
+// progFor (stackless cursors) is non-nil. The same pooled world serves
+// either representation — cursors and rank goroutines coexist, parked,
+// and only the representation the run uses is touched.
+func (g *Engine) run(n int, model *netmodel.Model, body func(*Rank),
+	progFor func(rank int) OpStream, cfg *config) (*Result, error) {
+	pw := g.acquire(n, model, cfg)
+	var res *Result
+	var err error
+	if progFor != nil {
+		res, err = runStackless(pw.w, cfg, pw.ranks, progFor)
+	} else {
+		pw.w.sched.spawnPersistent()
+		res, err = runEvent(pw.w, cfg, pw.ranks, body)
+	}
+	// runEvent and runStackless return only after the world quiesced (every
+	// rank parked or unwound) in all outcomes — success, panic, cancel,
+	// timeout, deadlock — so the world is always safe to re-pool.
+	g.release(pw)
+	return res, err
+}
+
+// acquire returns a world for size n: a pooled one (reset in place) on a
+// hit, a cold build on a miss.
+func (g *Engine) acquire(n int, model *netmodel.Model, cfg *config) *pooledWorld {
+	var pw *pooledWorld
+	g.mu.Lock()
+	if l := g.free[n]; len(l) > 0 {
+		pw = l[len(l)-1]
+		l[len(l)-1] = nil
+		g.free[n] = l[:len(l)-1]
+		g.cachedRanks -= n
+	}
+	g.mu.Unlock()
+
+	var setupStart time.Time
+	if telemetry.Enabled() {
+		setupStart = time.Now()
+	}
+	if pw != nil {
+		ctrWorldReuseHits.Inc()
+		pw.reset(model, cfg)
+	} else {
+		ctrWorldReuseMisses.Inc()
+		w, ranks := newWorld(n, model, cfg)
+		pw = &pooledWorld{w: w, ranks: ranks}
+	}
+	if !setupStart.IsZero() {
+		histRunSetupUS.Observe(float64(time.Since(setupStart)) / float64(time.Microsecond))
+	}
+	return pw
+}
+
+// release returns a world to the pool, evicting older worlds if the rank
+// budget overflows. Worlds that don't fit (or arrive after Close) are shut
+// down instead of cached.
+func (g *Engine) release(pw *pooledWorld) {
+	n := pw.w.n
+	var evicted []*pooledWorld
+	g.mu.Lock()
+	if g.closed || n > g.maxRanks {
+		g.mu.Unlock()
+		pw.w.sched.stopPersistent()
+		return
+	}
+	for g.cachedRanks+n > g.maxRanks {
+		evicted = append(evicted, g.evictOneLocked())
+	}
+	g.free[n] = append(g.free[n], pw)
+	g.cachedRanks += n
+	g.mu.Unlock()
+	for _, old := range evicted {
+		old.w.sched.stopPersistent()
+	}
+}
+
+// evictOneLocked removes one cached world — the largest size class first,
+// since big worlds hold the most memory per slot. The caller must hold the
+// mutex; the loop in release guarantees the pool is non-empty when the
+// budget overflows.
+func (g *Engine) evictOneLocked() *pooledWorld {
+	best := 0
+	for n, l := range g.free {
+		if len(l) > 0 && n > best {
+			best = n
+		}
+	}
+	l := g.free[best]
+	pw := l[len(l)-1]
+	l[len(l)-1] = nil
+	g.free[best] = l[:len(l)-1]
+	if len(g.free[best]) == 0 {
+		delete(g.free, best)
+	}
+	g.cachedRanks -= best
+	return pw
+}
+
+// reset prepares a pooled world for its next run. Only called between runs,
+// after the previous run fully quiesced: every write here is ordered before
+// the ranks' reads by the first dispatch's token send (coroutine runs) or by
+// same-goroutine program order (stackless runs).
+func (pw *pooledWorld) reset(model *netmodel.Model, cfg *config) {
+	w := pw.w
+	w.model = model
+	w.stop.reset()
+	w.sched.reset()
+	for i := range pw.ranks {
+		var tr Tracer
+		if cfg.tracerFor != nil {
+			tr = cfg.tracerFor(i)
+		}
+		pw.ranks[i].reset(tr)
+	}
+	for _, mb := range w.mailboxes {
+		mb.reset()
+	}
+	// Sub-communicators minted by CommSplit/CommDup died with the previous
+	// run (nothing in the world references them); only the world
+	// communicator's rendezvous needs re-arming.
+	w.commWorld.sync.(*seqColl).reset()
+	w.nextCommID = 0
+}

@@ -1,0 +1,107 @@
+package mpi
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/netmodel"
+	"repro/internal/telemetry"
+)
+
+// TestEngineReuseTelemetry pins the pool's observable accounting: with
+// telemetry on, a three-run sequence at one world size is exactly one miss
+// (the cold build) plus two hits (warm resets), and every acquisition lands a
+// sample in the setup-time histogram. The on/off bit-identity of these
+// counters rides the package-wide guarantee (no telemetry feeds back into
+// virtual time) pinned by TestTelemetryOnOffBitIdentical at the root.
+func TestEngineReuseTelemetry(t *testing.T) {
+	telemetry.Enable()
+	defer telemetry.Disable()
+	eng := NewEngine()
+	defer eng.Close()
+
+	hits0 := ctrWorldReuseHits.Value()
+	misses0 := ctrWorldReuseMisses.Value()
+	setup0 := histRunSetupUS.Stats().Count
+
+	for i := 0; i < 3; i++ {
+		if _, err := Run(16, netmodel.Ideal(), cleanBody, WithEngine(eng)); err != nil {
+			t.Fatalf("pooled run %d: %v", i, err)
+		}
+	}
+
+	if d := ctrWorldReuseMisses.Value() - misses0; d != 1 {
+		t.Errorf("world_reuse_misses grew by %d, want 1 (single cold build)", d)
+	}
+	if d := ctrWorldReuseHits.Value() - hits0; d != 2 {
+		t.Errorf("world_reuse_hits grew by %d, want 2 (two warm resets)", d)
+	}
+	if d := histRunSetupUS.Stats().Count - setup0; d != 3 {
+		t.Errorf("run_setup_us observed %d samples, want 3 (one per acquisition)", d)
+	}
+}
+
+// TestEngineSizeClassesAndEviction pins the pooling policy: worlds are keyed
+// by size (a run at a new size never reuses a differently-sized world), and
+// the rank budget evicts the largest cached class first.
+func TestEngineSizeClassesAndEviction(t *testing.T) {
+	telemetry.Enable()
+	defer telemetry.Disable()
+	eng := NewEngine()
+	defer eng.Close()
+	eng.maxRanks = 24 // forces eviction with toy worlds
+
+	misses0 := ctrWorldReuseMisses.Value()
+	for _, n := range []int{16, 8, 16} {
+		if _, err := Run(n, netmodel.Ideal(), cleanBody, WithEngine(eng)); err != nil {
+			t.Fatalf("run at %d ranks: %v", n, err)
+		}
+	}
+	// 16 cold, 8 cold, then the 16-rank release (16+8=24 fits) leaves both
+	// cached and the third run is a 16-rank hit.
+	if d := ctrWorldReuseMisses.Value() - misses0; d != 2 {
+		t.Errorf("misses grew by %d, want 2 (one per size class)", d)
+	}
+	// A 12-rank world (cold) overflows the budget on release; the 16-rank
+	// class is evicted first, so a following 8-rank run still hits.
+	hits0 := ctrWorldReuseHits.Value()
+	if _, err := Run(12, netmodel.Ideal(), cleanBody, WithEngine(eng)); err != nil {
+		t.Fatalf("run at 12 ranks: %v", err)
+	}
+	if _, err := Run(8, netmodel.Ideal(), cleanBody, WithEngine(eng)); err != nil {
+		t.Fatalf("run at 8 ranks: %v", err)
+	}
+	if d := ctrWorldReuseHits.Value() - hits0; d != 1 {
+		t.Errorf("hits grew by %d, want 1 (8-rank world survived the eviction)", d)
+	}
+	eng.mu.Lock()
+	if _, ok := eng.free[16]; ok {
+		t.Error("16-rank class still cached; eviction should drop the largest class first")
+	}
+	eng.mu.Unlock()
+}
+
+// TestEngineCloseRemainsUsable pins that Close is a drain, not a kill: runs
+// issued after Close build cold, complete correctly, and leave nothing cached
+// or running.
+func TestEngineCloseRemainsUsable(t *testing.T) {
+	base := runtime.NumGoroutine()
+	eng := NewEngine()
+	if _, err := Run(8, netmodel.Ideal(), cleanBody, WithEngine(eng)); err != nil {
+		t.Fatalf("pooled run: %v", err)
+	}
+	eng.Close()
+	res, err := Run(8, netmodel.Ideal(), cleanBody, WithEngine(eng))
+	if err != nil {
+		t.Fatalf("run after Close: %v", err)
+	}
+	if len(res.PerRankUS) != 8 {
+		t.Fatalf("result has %d ranks, want 8", len(res.PerRankUS))
+	}
+	waitForGoroutines(t, base)
+	eng.mu.Lock()
+	if eng.cachedRanks != 0 || len(eng.free) != 0 {
+		t.Errorf("engine cached %d ranks across %d classes after Close", eng.cachedRanks, len(eng.free))
+	}
+	eng.mu.Unlock()
+}

@@ -661,6 +661,46 @@ func (mb *mailbox) awaitCredit(msg *message, window int, senderClock float64) (r
 	return senderClock, false
 }
 
+// reset empties a queue for the next run on a pooled world, clearing the
+// retained backing array's pointers (so the old run's messages are not
+// pinned) while keeping its capacity.
+func (q *msgQueue) reset() {
+	clear(q.items)
+	q.items = q.items[:0]
+	q.head, q.dead = 0, 0
+}
+
+func (q *recvQueue) reset() {
+	clear(q.items)
+	q.items = q.items[:0]
+	q.head, q.dead = 0, 0
+}
+
+// reset prepares a pooled mailbox for its next run. The per-source index
+// (srcIdx or srcMap) and the slots slice are kept intact: re-deriving which
+// sources this rank heard from is more expensive than leaving empty slots in
+// place, and a slot whose queues are empty is invisible to every matching
+// scan. Queue backing arrays keep their grown capacity — that retained
+// capacity is most of what a warm Run saves. Only safe after the previous
+// run has fully quiesced (no rank goroutine can touch the mailbox).
+func (mb *mailbox) reset() {
+	for i := range mb.slots {
+		s := &mb.slots[i]
+		s.unex.reset()
+		s.posted.reset()
+		s.inflight = 0
+		s.credit = creditWaiter{}
+	}
+	mb.unexLive = 0
+	mb.postedAny.reset()
+	mb.postCount = 0
+	clear(mb.anyHeap)
+	mb.anyHeap = mb.anyHeap[:0]
+	mb.anyTag = 0
+	mb.anyValid = false
+	mb.lastDrain = 0
+}
+
 // pendingFrom reports how many messages from src are deposited but not yet
 // drained. Used by tests and the runtime's diagnostics.
 func (mb *mailbox) pendingFrom(src int) int {

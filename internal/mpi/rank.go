@@ -17,12 +17,20 @@ type Rank struct {
 
 	// Allocation arenas: messages, posted receives and requests are carved
 	// from per-rank chunks so the point-to-point hot path allocates once per
-	// arenaChunk operations instead of once per operation. Entries are never
-	// recycled (their lifetimes escape through mailboxes and user-held
-	// requests); the arenas only batch the allocations.
-	msgArena  []message
-	recvArena []postedRecv
-	reqArena  []Request
+	// chunk of operations instead of once per operation. Entries are never
+	// recycled within a run (their lifetimes escape through mailboxes and
+	// user-held requests); the arenas only batch the allocations. The chunk
+	// is retained and its cursor rewound when a pooled world is reset, so
+	// warm runs whose per-rank operation count fits the grown chunk allocate
+	// nothing at all. Chunks grow arenaChunkMin -> arenaChunkMax so a
+	// million-rank world with a handful of ops per rank does not strand
+	// arenaChunkMax entries per arena per rank.
+	msgChunk  []message
+	msgUsed   int
+	recvChunk []postedRecv
+	recvUsed  int
+	reqChunk  []Request
+	reqUsed   int
 
 	// shadow is a parallel clock that advances exactly like clock except
 	// that congestion stalls (burst throttling, flow-control resume) never
@@ -43,6 +51,14 @@ type Rank struct {
 	cwDone   bool
 	cwResume float64
 
+	// nextSite, when armed by SetCallSite, overrides the stack-walk call-site
+	// hash for the next traced operation. Replay drivers use it to stamp the
+	// original application's site onto re-issued operations, so a replayed
+	// trace is byte-identical to its source regardless of which engine — or
+	// which rank representation, stackful or stackless — drives the replay.
+	nextSite uint64
+	siteSet  bool
+
 	// lastInject records, per flow (destination and message size), the
 	// shadow time of the previous injection. Keying by flow makes the
 	// measured period the application's per-stream cadence (face exchanges
@@ -59,38 +75,86 @@ type flowKey struct {
 	dst, size int
 }
 
-// arenaChunk is the number of transport objects allocated per arena refill.
-// Sized so short runs don't strand most of a chunk: a rank that performs R
-// receives touches R posted receives and R messages, and chunks half the
-// size of the request chunk's working set keep the stranded tail small
-// while still amortizing the allocator call across 64 operations.
-const arenaChunk = 64
+// arenaChunkMin and arenaChunkMax bound the arena refill size. The first
+// refill is small so worlds with a handful of operations per rank (the
+// dominant shape at the top of the scaling curve) strand at most a few
+// entries; repeated refills double up to the max, which amortizes the
+// allocator call across 64 operations on communication-heavy ranks.
+const (
+	arenaChunkMin = 8
+	arenaChunkMax = 64
+)
+
+// nextChunkLen grows an arena's refill size: 0 -> min, then doubling to max.
+func nextChunkLen(cur int) int {
+	if cur == 0 {
+		return arenaChunkMin
+	}
+	if cur >= arenaChunkMax/2 {
+		return arenaChunkMax
+	}
+	return cur * 2
+}
 
 func (r *Rank) newMessage() *message {
-	if len(r.msgArena) == 0 {
-		r.msgArena = make([]message, arenaChunk)
+	if r.msgUsed == len(r.msgChunk) {
+		r.msgChunk = make([]message, nextChunkLen(len(r.msgChunk)))
+		r.msgUsed = 0
 	}
-	m := &r.msgArena[0]
-	r.msgArena = r.msgArena[1:]
+	m := &r.msgChunk[r.msgUsed]
+	r.msgUsed++
 	return m
 }
 
 func (r *Rank) newPostedRecv() *postedRecv {
-	if len(r.recvArena) == 0 {
-		r.recvArena = make([]postedRecv, arenaChunk)
+	if r.recvUsed == len(r.recvChunk) {
+		r.recvChunk = make([]postedRecv, nextChunkLen(len(r.recvChunk)))
+		r.recvUsed = 0
 	}
-	p := &r.recvArena[0]
-	r.recvArena = r.recvArena[1:]
+	p := &r.recvChunk[r.recvUsed]
+	r.recvUsed++
 	return p
 }
 
 func (r *Rank) newRequest() *Request {
-	if len(r.reqArena) == 0 {
-		r.reqArena = make([]Request, arenaChunk)
+	if r.reqUsed == len(r.reqChunk) {
+		r.reqChunk = make([]Request, nextChunkLen(len(r.reqChunk)))
+		r.reqUsed = 0
 	}
-	q := &r.reqArena[0]
-	r.reqArena = r.reqArena[1:]
+	q := &r.reqChunk[r.reqUsed]
+	r.reqUsed++
 	return q
+}
+
+// reset prepares a pooled rank for its next run: clocks, per-run state and
+// the arena cursors rewind; the arena chunks themselves (and their grown
+// sizes) are retained, which is the point of pooling. Chunks whose element
+// type holds pointers are cleared so a retained world does not pin the
+// previous run's messages; the message chunk is pointer-free and left as-is
+// (every allocation fully overwrites its entry). Only the last chunk of each
+// arena is reachable from the rank — earlier chunks were dropped when the
+// arena refilled mid-run — so rewinding cannot hand out entries that a
+// previous run's mailbox still references.
+//
+// A *Request held across Runs is invalidated by the rewind: Engine reuse
+// makes request lifetimes end with the run, matching MPI semantics.
+func (r *Rank) reset(tracer Tracer) {
+	r.clock = 0
+	r.lastOpEnd = 0
+	r.tracer = tracer
+	r.finalized = false
+	r.shadow = 0
+	r.opCount = 0
+	r.cwDone = false
+	r.cwResume = 0
+	r.nextSite = 0
+	r.siteSet = false
+	clear(r.lastInject)
+	clear(r.recvChunk[:r.recvUsed])
+	clear(r.reqChunk[:r.reqUsed])
+	r.msgUsed = 0
+	r.recvUsed = 0
+	r.reqUsed = 0
 }
 
 // Rank returns the world rank of this process.
@@ -165,10 +229,22 @@ type entryState struct {
 
 func (r *Rank) enter() entryState {
 	st := entryState{start: r.clock, compute: r.clock - r.lastOpEnd}
-	if r.tracer != nil {
+	if r.siteSet {
+		st.site = r.nextSite
+		r.siteSet = false
+	} else if r.tracer != nil {
 		st.site = callSite()
 	}
 	return st
+}
+
+// SetCallSite overrides the call-site hash recorded for the next MPI
+// operation this rank issues, in place of the runtime's stack walk. Replay
+// bodies stamp each re-issued operation with the site recorded in the source
+// trace; the override is consumed by exactly one operation.
+func (r *Rank) SetCallSite(site uint64) {
+	r.nextSite = site
+	r.siteSet = true
 }
 
 // record finishes an MPI call. ev points at a caller stack local that never

@@ -62,6 +62,28 @@ type eventLoop struct {
 	ranks []Rank
 	stop  *runStop
 
+	// body is the rank body for the current run, shared by every rank. It is
+	// written by Run's goroutine before the first dispatch and read by rank
+	// goroutines only after receiving a token, so the write is ordered by the
+	// token chain. Holding it here (rather than closing over it per spawn) is
+	// what lets persistent rank goroutines outlive a single run.
+	body func(*Rank)
+
+	// persistent marks an engine whose rank goroutines survive across runs
+	// (world pooling): rankLoop parks on the token channel between runs
+	// instead of exiting, keeping its grown stack. spawned records that the
+	// goroutines exist; shutdown, read after a token receive, tells them to
+	// exit for good.
+	persistent bool
+	spawned    bool
+	shutdown   bool
+
+	// cursors are the per-rank stackless executors for RunStackless bodies,
+	// lazily built and retained across runs on a pooled world. Stackless runs
+	// never touch resume channels or rank goroutines: drive advances the
+	// cursors directly off the run queue.
+	cursors []slExec
+
 	state  []rankState
 	resume []chan struct{} // per-rank token channel, buffered 1
 
@@ -116,6 +138,65 @@ func newEventLoop(n int, stop *runStop) *eventLoop {
 
 func (e *eventLoop) rank(i int32) *Rank { return &e.ranks[i] }
 
+// reset re-arms the loop for the next run on a pooled world: all ranks
+// become runnable again, the run queue empties (keeping its capacity), and
+// fresh completion channels replace the consumed ones. Token channels are
+// kept — persistent rank goroutines are parked on them. Only safe after the
+// previous run has fully quiesced (exited closed), which orders these writes
+// before any rank goroutine's next read via the first dispatch's token send.
+func (e *eventLoop) reset() {
+	clear(e.state) // rsRunnable is the zero state
+	e.heap = e.heap[:0]
+	e.nLive = len(e.state)
+	e.drainNext = 0
+	e.exitClosed = false
+	e.dispatches = 0
+	e.panics = nil
+	e.exited = make(chan struct{})
+	e.stalled = make(chan struct{})
+}
+
+// spawnPersistent starts the long-lived rank goroutines for a pooled world.
+// Idempotent: goroutines spawned for an earlier run are parked on their
+// token channels and serve the next run as-is.
+func (e *eventLoop) spawnPersistent() {
+	e.persistent = true
+	if e.spawned {
+		return
+	}
+	e.spawned = true
+	for i := range e.state {
+		go e.rankLoop(int32(i))
+	}
+}
+
+// stopPersistent tells every parked rank goroutine to exit and must only be
+// called between runs (all goroutines parked, token channels empty): the
+// buffered sends below cannot block, and the shutdown write is ordered
+// before each goroutine's read by its token receive.
+func (e *eventLoop) stopPersistent() {
+	if !e.spawned {
+		return
+	}
+	e.shutdown = true
+	for i := range e.resume {
+		e.resume[i] <- struct{}{}
+	}
+	e.spawned = false
+}
+
+// rankLoop is the persistent per-rank goroutine: one body execution per
+// token round, parking between runs instead of exiting.
+func (e *eventLoop) rankLoop(i int32) {
+	for {
+		<-e.resume[i]
+		if e.shutdown {
+			return
+		}
+		e.runBody(&e.ranks[i])
+	}
+}
+
 // start seeds the run queue with every rank at virtual time zero — pushing
 // in rank order builds a valid heap for all-equal keys — and hands the
 // token to the first. Called from Run's goroutine before any rank runs.
@@ -126,10 +207,17 @@ func (e *eventLoop) start() {
 	e.dispatch()
 }
 
-// rankProc is the goroutine wrapper for one rank: wait for the first
-// token, run the shared rank entry, and on any exit — normal return,
-// orderly teardown or a user panic — pass the token on.
-func (e *eventLoop) rankProc(r *Rank, body func(*Rank)) {
+// rankProc is the one-shot goroutine wrapper for one rank (non-pooled
+// worlds): wait for the first token, run the body, exit.
+func (e *eventLoop) rankProc(r *Rank) {
+	<-e.resume[r.rank]
+	e.runBody(r)
+}
+
+// runBody executes one run's body on rank r, already holding the token. On
+// any exit — normal return, orderly teardown or a user panic — it passes
+// the token on.
+func (e *eventLoop) runBody(r *Rank) {
 	defer func() {
 		if p := recover(); p != nil {
 			if _, stopped := p.(runStopped); !stopped {
@@ -139,9 +227,8 @@ func (e *eventLoop) rankProc(r *Rank, body func(*Rank)) {
 		}
 		e.finishRank(r.rank)
 	}()
-	<-e.resume[r.rank]
 	e.stop.checkStopped()
-	rankMain(r, body)
+	rankMain(r, e.body)
 }
 
 func (e *eventLoop) finishRank(i int) {

@@ -14,6 +14,11 @@ import (
 // synchronization at all: a non-last arriver registers itself as waiting
 // and hands the execution token away; the last arriver closes the round and
 // pushes every waiter back onto the run queue.
+//
+// The arrival bookkeeping and the round close are split-phase (arriveRound/
+// closeRound and the fixed-cost pair) so the stackless executor can share
+// them: a coroutine rank parks in await between the two, a stackless cursor
+// parks by returning to the drive loop and polls the generation on wake.
 type seqColl struct {
 	e *eventLoop
 	// members maps comm rank -> world rank, so a waiter can identify itself
@@ -45,10 +50,28 @@ func newSeqColl(e *eventLoop, members []int) *seqColl {
 	return &seqColl{e: e, members: members}
 }
 
-// arrive mirrors lockedColl.arrive; see collSync for the contract.
-func (cs *seqColl) arrive(commRank int, op Op, clock, shadow float64, contrib any,
-	finish func(maxClock float64, contribs []any) (completion float64, shared any)) (float64, float64, any) {
-	myGen := cs.gen
+// reset clears all round state for the next run on a pooled world. Only
+// safe after the previous run has quiesced (no rank can be parked on a
+// round).
+func (cs *seqColl) reset() {
+	cs.gen = 0
+	cs.arrived = 0
+	cs.maxClock = 0
+	cs.maxShadow = 0
+	cs.op = 0
+	clear(cs.payload)
+	cs.maxPayload = 0
+	cs.waiting = cs.waiting[:0]
+	cs.completion = 0
+	cs.shadowCompletion = 0
+	cs.shared = nil
+}
+
+// arriveRound performs the arrival bookkeeping for a general round and
+// reports the round generation the caller joined and whether its arrival
+// was the last.
+func (cs *seqColl) arriveRound(commRank int, op Op, clock, shadow float64, contrib any) (myGen uint64, last bool) {
+	myGen = cs.gen
 	if cs.arrived == 0 {
 		cs.op = op
 		cs.maxClock = clock
@@ -69,25 +92,36 @@ func (cs *seqColl) arrive(commRank int, op Op, clock, shadow float64, contrib an
 	}
 	cs.payload[commRank] = contrib
 	cs.arrived++
+	return myGen, cs.arrived == len(cs.members)
+}
 
-	if cs.arrived == len(cs.members) {
-		contribs := append([]any(nil), cs.payload...)
-		cs.completion, cs.shared = finish(cs.maxClock, contribs)
-		cs.shadowCompletion = cs.maxShadow + (cs.completion - cs.maxClock)
-		for i := range cs.payload {
-			cs.payload[i] = nil
-		}
-		cs.finishRound()
+// closeRound completes a general round: the last arriver computes the
+// results and releases every waiter.
+func (cs *seqColl) closeRound(finish func(maxClock float64, contribs []any) (completion float64, shared any)) {
+	contribs := append([]any(nil), cs.payload...)
+	cs.completion, cs.shared = finish(cs.maxClock, contribs)
+	cs.shadowCompletion = cs.maxShadow + (cs.completion - cs.maxClock)
+	for i := range cs.payload {
+		cs.payload[i] = nil
+	}
+	cs.finishRound()
+}
+
+// arrive mirrors lockedColl.arrive; see collSync for the contract.
+func (cs *seqColl) arrive(commRank int, op Op, clock, shadow float64, contrib any,
+	finish func(maxClock float64, contribs []any) (completion float64, shared any)) (float64, float64, any) {
+	myGen, last := cs.arriveRound(commRank, op, clock, shadow, contrib)
+	if last {
+		cs.closeRound(finish)
 		return cs.completion, cs.shadowCompletion, cs.shared
 	}
 	cs.await(myGen, commRank)
 	return cs.completion, cs.shadowCompletion, cs.shared
 }
 
-// arriveFixed mirrors lockedColl.arriveFixed; see collSync for the contract.
-func (cs *seqColl) arriveFixed(commRank int, op Op, clock, shadow float64, contrib int,
-	m *netmodel.Model, cc collCost) (float64, float64) {
-	myGen := cs.gen
+// arriveFixedRound is arriveRound's fixed-cost counterpart.
+func (cs *seqColl) arriveFixedRound(commRank int, op Op, clock, shadow float64, contrib int) (myGen uint64, last bool) {
+	myGen = cs.gen
 	if cs.arrived == 0 {
 		cs.op = op
 		cs.maxClock = clock
@@ -107,12 +141,23 @@ func (cs *seqColl) arriveFixed(commRank int, op Op, clock, shadow float64, contr
 		cs.maxPayload = contrib
 	}
 	cs.arrived++
+	return myGen, cs.arrived == len(cs.members)
+}
 
-	if cs.arrived == len(cs.members) {
-		cs.completion = cs.maxClock + evalCollCost(m, cc, cs.maxPayload)
-		cs.shadowCompletion = cs.maxShadow + (cs.completion - cs.maxClock)
-		cs.shared = nil
-		cs.finishRound()
+// closeFixedRound completes a fixed-cost round.
+func (cs *seqColl) closeFixedRound(m *netmodel.Model, cc collCost) {
+	cs.completion = cs.maxClock + evalCollCost(m, cc, cs.maxPayload)
+	cs.shadowCompletion = cs.maxShadow + (cs.completion - cs.maxClock)
+	cs.shared = nil
+	cs.finishRound()
+}
+
+// arriveFixed mirrors lockedColl.arriveFixed; see collSync for the contract.
+func (cs *seqColl) arriveFixed(commRank int, op Op, clock, shadow float64, contrib int,
+	m *netmodel.Model, cc collCost) (float64, float64) {
+	myGen, last := cs.arriveFixedRound(commRank, op, clock, shadow, contrib)
+	if last {
+		cs.closeFixedRound(m, cc)
 		return cs.completion, cs.shadowCompletion
 	}
 	cs.await(myGen, commRank)
@@ -131,6 +176,13 @@ func (cs *seqColl) finishRound() {
 	for _, wr := range waiting {
 		cs.e.wake(wr)
 	}
+}
+
+// park registers the caller as waiting on the current round; the stackless
+// executor calls it before every return to the drive loop, mirroring the
+// append-per-iteration in await.
+func (cs *seqColl) park(commRank int) {
+	cs.waiting = append(cs.waiting, int32(cs.members[commRank]))
 }
 
 // await parks the caller until the round it joined completes.

@@ -36,6 +36,16 @@ var (
 	// sampling keeps the histogram's mutex off the dispatch hot path, whose
 	// instrumentation overhead is bounded by the telemetry guard test.
 	histSchedHeapDepth = telemetry.NewHistogram("mpi.sched_heap_depth")
+	// ctrWorldReuseHits counts Engine runs served by a pooled world (warm
+	// start: O(active-ranks) reset instead of full reallocation);
+	// ctrWorldReuseMisses counts runs that had to build a world from scratch
+	// (cold start — including every non-Engine Run).
+	ctrWorldReuseHits   = telemetry.NewCounter("mpi.world_reuse_hits")
+	ctrWorldReuseMisses = telemetry.NewCounter("mpi.world_reuse_misses")
+	// histRunSetupUS records, per Run, the wall-clock microseconds spent
+	// building or resetting the world before the first rank executes. The
+	// cold/warm gap in this histogram is the pooling win BENCH_7.json pins.
+	histRunSetupUS = telemetry.NewHistogram("mpi.run_setup_us")
 )
 
 // timelineTracer records each operation of one rank as a virtual-time span

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/netmodel"
+	"repro/internal/telemetry"
 )
 
 // World is one simulated machine execution: n ranks, a network model, and
@@ -44,6 +45,7 @@ type config struct {
 	refColl     bool
 	goroutineRT bool
 	ctx         context.Context
+	engine      *Engine
 }
 
 // Option configures a Run.
@@ -93,6 +95,31 @@ func WithGoroutineRuntime() Option {
 	return func(c *config) { c.goroutineRT = true }
 }
 
+// WithEngine runs the world on a reusable engine: rank structs, mailboxes,
+// arenas, the scheduler heap and (for coroutine bodies) the parked rank
+// goroutines are drawn from eng's pool and returned to it when the run
+// completes, so repeated Runs at the same world size pay an O(active-ranks)
+// reset instead of a full allocation. Results are bit-identical to a fresh
+// world. The option is ignored for the goroutine and reference runtimes,
+// whose worlds are not poolable. Requests for *Request lifetimes: a request
+// held across Runs on the same engine is invalidated by the pool's arena
+// rewind.
+func WithEngine(eng *Engine) Option {
+	return func(c *config) { c.engine = eng }
+}
+
+// EventEngineSelected reports whether the given options leave the default
+// discrete-event engine in charge (neither WithGoroutineRuntime nor
+// WithReferenceCollectives). Callers use it to decide whether
+// engine-specific fast paths — the stackless replay representation — apply.
+func EventEngineSelected(opts ...Option) bool {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return !cfg.goroutineRT && !cfg.refColl
+}
+
 // denseSrcIndexRanks bounds the world size that uses dense per-source
 // mailbox indexes. The dense form is one pointer-free int32 slab of n² —
 // 64 MiB at 4096 ranks, but 16 TiB at 65536 — so larger worlds fall back
@@ -119,15 +146,40 @@ func rankMain(r *Rank, body func(*Rank)) {
 // error if any rank panics, if the ranks deadlock, or if the run does not
 // complete within the (real-time) timeout.
 func Run(n int, model *netmodel.Model, body func(*Rank), opts ...Option) (*Result, error) {
-	if n <= 0 {
-		return nil, fmt.Errorf("mpi: world size %d must be positive", n)
+	cfg, err := prepare(&n, &model, opts)
+	if err != nil {
+		return nil, err
 	}
-	if model == nil {
-		model = netmodel.Ideal()
+	if cfg.engine != nil && !cfg.goroutineRT && !cfg.refColl {
+		return cfg.engine.run(n, model, body, nil, cfg)
 	}
-	cfg := config{timeout: 60 * time.Second}
+	var setupStart time.Time
+	if telemetry.Enabled() {
+		setupStart = time.Now()
+	}
+	w, ranks := newWorld(n, model, cfg)
+	ctrWorldReuseMisses.Inc()
+	if !setupStart.IsZero() {
+		histRunSetupUS.Observe(float64(time.Since(setupStart)) / float64(time.Microsecond))
+	}
+	if w.sched != nil {
+		return runEvent(w, cfg, ranks, body)
+	}
+	return runGoroutine(w, cfg, ranks, body)
+}
+
+// prepare validates Run's inputs and folds the options, defaulting the model
+// and the timeout. It is shared by Run, RunStackless and the engine pool.
+func prepare(n *int, model **netmodel.Model, opts []Option) (*config, error) {
+	if *n <= 0 {
+		return nil, fmt.Errorf("mpi: world size %d must be positive", *n)
+	}
+	if *model == nil {
+		*model = netmodel.Ideal()
+	}
+	cfg := &config{timeout: 60 * time.Second}
 	for _, o := range opts {
-		o(&cfg)
+		o(cfg)
 	}
 	if cfg.ctx != nil {
 		// An already-cancelled context never starts the world at all.
@@ -135,7 +187,12 @@ func Run(n int, model *netmodel.Model, body func(*Rank), opts ...Option) (*Resul
 			return nil, fmt.Errorf("mpi: run cancelled: %w", err)
 		}
 	}
+	return cfg, nil
+}
 
+// newWorld builds a world and its rank array from scratch (a cold start —
+// the engine pool's reset path is the warm equivalent).
+func newWorld(n int, model *netmodel.Model, cfg *config) (*World, []Rank) {
 	w := &World{n: n, model: model, mailboxes: make([]*mailbox, n), refColl: cfg.refColl,
 		stop: newRunStop()}
 	if !cfg.goroutineRT && !cfg.refColl {
@@ -181,18 +238,14 @@ func Run(n int, model *netmodel.Model, body func(*Rank), opts ...Option) (*Resul
 			r.tracer = cfg.tracerFor(i)
 		}
 	}
-
-	if w.sched != nil {
-		return runEvent(w, cfg, ranks, body)
-	}
-	return runGoroutine(w, cfg, ranks, body)
+	return w, ranks
 }
 
 // runGoroutine is the original runtime: one OS-scheduled goroutine per
 // rank, all runnable at once, blocking on the transport's mutexes and
 // condition variables. Retained behind WithGoroutineRuntime as the
 // semantic reference for the event engine.
-func runGoroutine(w *World, cfg config, ranks []Rank, body func(*Rank)) (*Result, error) {
+func runGoroutine(w *World, cfg *config, ranks []Rank, body func(*Rank)) (*Result, error) {
 	var (
 		wg       sync.WaitGroup
 		panicMu  sync.Mutex
@@ -269,11 +322,17 @@ func runGoroutine(w *World, cfg config, ranks []Rank, body func(*Rank)) (*Result
 // goroutine only seeds the run queue and then waits for one of four
 // outcomes: completion, virtual deadlock (proven, not suspected), the
 // wall-clock timeout, or context cancellation.
-func runEvent(w *World, cfg config, ranks []Rank, body func(*Rank)) (*Result, error) {
+func runEvent(w *World, cfg *config, ranks []Rank, body func(*Rank)) (*Result, error) {
 	e := w.sched
 	e.ranks = ranks
-	for i := range ranks {
-		go e.rankProc(&ranks[i], body)
+	e.body = body
+	if !e.persistent {
+		// One-shot world: spawn a goroutine per rank for this run only. A
+		// pooled world's persistent goroutines are already parked on their
+		// token channels.
+		for i := range ranks {
+			go e.rankProc(&ranks[i])
+		}
 	}
 	e.start()
 

@@ -4,6 +4,16 @@
 // paper replays both the original application's trace and the generated
 // benchmark's trace to compare them free of spurious structural differences;
 // Equivalent implements that comparison.
+//
+// A replayed rank is a flat, pre-known operation sequence, which is exactly
+// the shape the event engine's stackless representation wants: by default
+// (ModeAuto under the event engine) each rank is compiled into an OpStream
+// cursor and driven without a goroutine or stack, which removes the
+// per-rank stack footprint and handoff cost at large world sizes. The
+// coroutine path is retained for the goroutine and reference runtimes and
+// for differential testing; both paths stamp the trace's recorded call
+// sites onto the re-issued operations, so all runtimes re-trace
+// byte-identically.
 package replay
 
 import (
@@ -14,12 +24,47 @@ import (
 	"repro/internal/trace"
 )
 
+// Mode selects the rank representation a replay runs on.
+type Mode int
+
+const (
+	// ModeAuto uses stackless cursors when the options leave the event
+	// engine in charge, coroutine bodies otherwise.
+	ModeAuto Mode = iota
+	// ModeCursor forces the stackless representation (event engine only).
+	ModeCursor
+	// ModeCoroutine forces the goroutine-backed body on whichever runtime
+	// the options select.
+	ModeCoroutine
+)
+
 // Replay executes the trace on n simulated ranks and returns the runtime's
-// result. Extra mpi options (tracers, profilers, timeouts) may be supplied —
-// replaying under a Collector yields a re-trace.
+// result. Extra mpi options (tracers, profilers, timeouts, a pooled engine)
+// may be supplied — replaying under a Collector yields a re-trace. The rank
+// representation is chosen automatically (ModeAuto); ReplayMode pins it.
 func Replay(t *trace.Trace, model *netmodel.Model, opts ...mpi.Option) (*mpi.Result, error) {
+	return ReplayMode(t, ModeAuto, model, opts...)
+}
+
+// ReplayMode is Replay with an explicit rank representation. The
+// differential suite runs the same trace through ModeCursor, ModeCoroutine
+// (event engine) and ModeCoroutine (goroutine runtime) and requires
+// byte-identical traces and clocks from all three.
+func ReplayMode(t *trace.Trace, mode Mode, model *netmodel.Model, opts ...mpi.Option) (*mpi.Result, error) {
 	if t.N <= 0 {
 		return nil, fmt.Errorf("replay: trace has no ranks")
+	}
+	if mode == ModeAuto {
+		if mpi.EventEngineSelected(opts...) {
+			mode = ModeCursor
+		} else {
+			mode = ModeCoroutine
+		}
+	}
+	if mode == ModeCursor {
+		return mpi.RunStackless(t.N, model, func(rank int) mpi.OpStream {
+			return newCursorStream(t, rank)
+		}, opts...)
 	}
 	// The communicator table's final size is known up front (world plus every
 	// traced communicator), and a handful of outstanding requests is the norm
@@ -39,10 +84,99 @@ func Replay(t *trace.Trace, model *netmodel.Model, opts ...mpi.Option) (*mpi.Res
 			rp.play(c.Cur(), c.InnermostIter() == 0)
 		}
 		if len(rp.outstanding) > 0 {
+			r.SetCallSite(mpi.EndDrainSite)
 			r.Waitall(rp.outstanding...)
 		}
 	}
 	return mpi.Run(t.N, model, body, opts...)
+}
+
+// cursorStream feeds one rank's trace walk to the stackless executor,
+// translating each leaf into a RankOp on demand. The executor owns all
+// execution state (communicator table, outstanding requests); the stream
+// only resolves per-leaf parameters — peers, v-collective contributions,
+// split colors — exactly as the coroutine replayer does before its calls.
+type cursorStream struct {
+	t *trace.Trace
+	c *trace.Cursor
+}
+
+func newCursorStream(t *trace.Trace, rank int) *cursorStream {
+	s := &cursorStream{t: t}
+	if g := t.GroupOf(rank); g != nil {
+		s.c = trace.NewCursor(g.Seq, rank)
+	}
+	return s
+}
+
+// Next implements mpi.OpStream.
+func (s *cursorStream) Next(r *mpi.Rank) (mpi.RankOp, bool) {
+	if s.c == nil || s.c.Done() {
+		return mpi.RankOp{}, false
+	}
+	leaf := s.c.Cur()
+	first := s.c.InnermostIter() == 0
+	s.c.Advance()
+	return s.translate(leaf, first, r.Rank()), true
+}
+
+// translate builds the RankOp for one leaf, mirroring the argument
+// resolution in replayer.play leaf for leaf.
+func (s *cursorStream) translate(leaf *trace.RSD, first bool, rank int) mpi.RankOp {
+	op := mpi.RankOp{
+		Op:        leaf.Op,
+		ComputeUS: leaf.ComputeMeanAt(first),
+		Site:      leaf.Site,
+		CommID:    leaf.CommID,
+		Tag:       leaf.Tag,
+		Root:      leaf.Root,
+	}
+	switch leaf.Op {
+	case mpi.OpInit, mpi.OpFinalize, mpi.OpWait, mpi.OpWaitall:
+		// Compute (and, for the drains, the outstanding set) only.
+	case mpi.OpSend, mpi.OpIsend, mpi.OpRecv, mpi.OpIrecv:
+		op.Size = leaf.Size
+		if leaf.Peer.Kind == trace.ParamAny {
+			op.Peer = mpi.AnySource
+		} else {
+			op.Peer = leaf.PeerFor(rank, s.t)
+		}
+	case mpi.OpGatherv, mpi.OpAllgatherv:
+		// These wrappers take this rank's contribution, not the vector.
+		op.Size = s.mySizeOf(leaf, rank)
+	case mpi.OpScatterv, mpi.OpAlltoallv, mpi.OpReduceScatter:
+		op.Counts = leaf.Counts
+	case mpi.OpCommSplit:
+		// Members of the same new communicator share a color; the recorded
+		// group order is reproduced through the key.
+		op.SplitColor = -1
+		if leaf.NewCommID != 0 {
+			op.SplitColor = leaf.NewCommID
+			for i, w := range s.t.CommGroup(leaf.NewCommID) {
+				if w == rank {
+					op.SplitKey = i
+				}
+			}
+			op.NewCommID = leaf.NewCommID
+		}
+	case mpi.OpCommDup:
+		op.NewCommID = leaf.NewCommID
+	default:
+		// Fixed-size collectives: Barrier, Bcast, Reduce, Allreduce,
+		// Gather, Allgather, Scatter, Alltoall.
+		op.Size = leaf.Size
+	}
+	return op
+}
+
+// mySizeOf mirrors replayer.mySizeOf for the cursor path.
+func (s *cursorStream) mySizeOf(leaf *trace.RSD, rank int) int {
+	if len(leaf.Counts) > 0 {
+		if me, ok := s.t.CommRankOf(leaf.CommID, rank); ok && me < len(leaf.Counts) {
+			return leaf.Counts[me]
+		}
+	}
+	return leaf.Size
 }
 
 type replayer struct {
@@ -70,6 +204,10 @@ func (rp *replayer) peer(leaf *trace.RSD) int {
 	return leaf.PeerFor(rp.rank.Rank(), rp.t)
 }
 
+// play issues one leaf. Every issuing call is preceded by SetCallSite so the
+// re-traced event carries the source trace's site rather than this file's
+// stack hash; leaves that issue no call (Init, an empty drain) stamp
+// nothing, leaving the implicit Init/Finalize events their rankMain site.
 func (rp *replayer) play(leaf *trace.RSD, firstIter bool) {
 	rp.rank.Compute(leaf.ComputeMeanAt(firstIter))
 	c := rp.comm(leaf.CommID)
@@ -80,47 +218,66 @@ func (rp *replayer) play(leaf *trace.RSD, firstIter bool) {
 		// Finalize is issued by the runtime after the body returns; drain
 		// outstanding requests so it can complete.
 		if len(rp.outstanding) > 0 {
+			rp.rank.SetCallSite(leaf.Site)
 			rp.rank.Waitall(rp.outstanding...)
 			rp.outstanding = rp.outstanding[:0]
 		}
 	case mpi.OpSend:
+		rp.rank.SetCallSite(leaf.Site)
 		rp.rank.Send(c, rp.peer(leaf), leaf.Tag, leaf.Size)
 	case mpi.OpIsend:
+		rp.rank.SetCallSite(leaf.Site)
 		rp.outstanding = append(rp.outstanding, rp.rank.Isend(c, rp.peer(leaf), leaf.Tag, leaf.Size))
 	case mpi.OpRecv:
+		rp.rank.SetCallSite(leaf.Site)
 		rp.rank.Recv(c, rp.peer(leaf), leaf.Tag, leaf.Size)
 	case mpi.OpIrecv:
+		rp.rank.SetCallSite(leaf.Site)
 		rp.outstanding = append(rp.outstanding, rp.rank.Irecv(c, rp.peer(leaf), leaf.Tag, leaf.Size))
 	case mpi.OpWait, mpi.OpWaitall:
 		if len(rp.outstanding) > 0 {
+			rp.rank.SetCallSite(leaf.Site)
 			rp.rank.Waitall(rp.outstanding...)
 			rp.outstanding = rp.outstanding[:0]
 		}
 	case mpi.OpBarrier:
+		rp.rank.SetCallSite(leaf.Site)
 		rp.rank.Barrier(c)
 	case mpi.OpBcast:
+		rp.rank.SetCallSite(leaf.Site)
 		rp.rank.Bcast(c, leaf.Root, leaf.Size)
 	case mpi.OpReduce:
+		rp.rank.SetCallSite(leaf.Site)
 		rp.rank.Reduce(c, leaf.Root, leaf.Size)
 	case mpi.OpAllreduce:
+		rp.rank.SetCallSite(leaf.Site)
 		rp.rank.Allreduce(c, leaf.Size)
 	case mpi.OpGather:
+		rp.rank.SetCallSite(leaf.Site)
 		rp.rank.Gather(c, leaf.Root, leaf.Size)
 	case mpi.OpGatherv:
+		rp.rank.SetCallSite(leaf.Site)
 		rp.rank.Gatherv(c, leaf.Root, rp.mySizeOf(leaf))
 	case mpi.OpAllgather:
+		rp.rank.SetCallSite(leaf.Site)
 		rp.rank.Allgather(c, leaf.Size)
 	case mpi.OpAllgatherv:
+		rp.rank.SetCallSite(leaf.Site)
 		rp.rank.Allgatherv(c, rp.mySizeOf(leaf))
 	case mpi.OpScatter:
+		rp.rank.SetCallSite(leaf.Site)
 		rp.rank.Scatter(c, leaf.Root, leaf.Size)
 	case mpi.OpScatterv:
+		rp.rank.SetCallSite(leaf.Site)
 		rp.rank.Scatterv(c, leaf.Root, leaf.Counts)
 	case mpi.OpAlltoall:
+		rp.rank.SetCallSite(leaf.Site)
 		rp.rank.Alltoall(c, leaf.Size)
 	case mpi.OpAlltoallv:
+		rp.rank.SetCallSite(leaf.Site)
 		rp.rank.Alltoallv(c, leaf.Counts)
 	case mpi.OpReduceScatter:
+		rp.rank.SetCallSite(leaf.Site)
 		rp.rank.ReduceScatter(c, leaf.Counts)
 	case mpi.OpCommSplit:
 		// Members of the same new communicator share a color; the recorded
@@ -134,10 +291,12 @@ func (rp *replayer) play(leaf *trace.RSD, firstIter bool) {
 				}
 			}
 		}
+		rp.rank.SetCallSite(leaf.Site)
 		if sub := rp.rank.CommSplit(c, color, key); sub != nil && leaf.NewCommID != 0 {
 			rp.comms[leaf.NewCommID] = sub
 		}
 	case mpi.OpCommDup:
+		rp.rank.SetCallSite(leaf.Site)
 		sub := rp.rank.CommDup(c)
 		if leaf.NewCommID != 0 {
 			rp.comms[leaf.NewCommID] = sub

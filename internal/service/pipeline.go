@@ -113,7 +113,10 @@ func runStages(ctx context.Context, req *Request, progress func(string)) (*Resul
 	endPredict := telemetry.Region(StagePredict)
 	prof := mpip.NewProfile()
 	run, err := conceptual.Execute(prog, tr.N, model,
-		conceptual.WithMPIOptions(mpi.WithTracer(prof.TracerFor), mpi.WithContext(ctx)))
+		conceptual.WithMPIOptions(mpi.WithTracer(prof.TracerFor), mpi.WithContext(ctx),
+			// Job bodies share the harness world pool: a daemon serving repeated
+			// requests at the same rank count pays world setup once, not per job.
+			mpi.WithEngine(harness.SharedEngine())))
 	endPredict()
 	if err != nil {
 		if ctxErr := ctx.Err(); ctxErr != nil {

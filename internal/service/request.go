@@ -23,14 +23,17 @@ import (
 // a simulated world still costs real per-rank memory and event-loop time, so
 // a hostile few-byte upload declaring a huge nprocs must be refused at
 // admission, not discovered as an allocation failure inside a worker. The
-// ceiling is the discrete-event engine's proven scale (it runs a 65536-rank
-// world in seconds — see mpi's TestEventEngineScales65536 and BENCH_6.json).
-// The old 4096 cap dated from the runtime's n² dense mailbox index slab (16
-// TiB at 65536 ranks, now sparse above mpi's denseSrcIndexRanks) and from
-// scheduling n concurrent goroutines; the event engine's token discipline
-// keeps all but one parked, so world size no longer multiplies scheduler
-// pressure.
-const MaxRunnableRanks = 65536
+// ceiling tracks the discrete-event engine's proven scale: the scaling suite
+// now drives 1,048,576-rank worlds (BENCH_7.json), and a replayed rank is a
+// stackless cursor plus its mailbox — no goroutine, no stack — so a
+// 262144-rank world costs a few hundred MiB. The previous 65536 cap dated
+// from goroutine-backed replay ranks, whose 8 KiB minimum stacks alone put a
+// quarter-million-rank world past 2 GiB before any payload state; the
+// daemon's worlds are also pooled across jobs (harness.SharedEngine), so
+// repeated large requests reset one cached world instead of thrashing the
+// allocator. The saturation test still pins that a full queue of
+// maximum-size requests is refused with 429, not absorbed.
+const MaxRunnableRanks = 262144
 
 // Request is one benchmark-generation request. Exactly one of App or Trace
 // must be set: App names a workload from the built-in suite to trace first,

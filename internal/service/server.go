@@ -434,6 +434,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		<-done
 	}
 	s.baseCancel()
+	// The workers are quiesced; release the pooled worlds' memory and stop
+	// their persistent rank goroutines. The shared pool stays usable (cold
+	// builds) for any co-hosted harness work that outlives the daemon.
+	harness.SharedEngine().Close()
 	telemetry.CaptureRegions(nil)
 	close(s.drained)
 	return err

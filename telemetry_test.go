@@ -28,8 +28,13 @@ var updateGolden = flag.Bool("update", false, "rewrite golden files")
 // mpiP profiles must agree — bit for bit, except the wildcard kernels' known
 // sub-percent clock jitter. Telemetry state is global, so the legs run
 // serially (no t.Parallel).
+// The instrumented leg runs through a pooled Engine, so the world-reuse
+// counters and the per-Run setup histogram — which fire on the pool's
+// acquire path — are also covered by the proof.
 func TestTelemetryOnOffBitIdentical(t *testing.T) {
 	defer telemetry.Disable()
+	eng := mpi.NewEngine()
+	defer eng.Close()
 	for _, name := range apps.Names() {
 		app := apps.ByName(name)
 		n := 16
@@ -43,7 +48,7 @@ func TestTelemetryOnOffBitIdentical(t *testing.T) {
 
 			telemetry.Enable()
 			tl := telemetry.NewTimeline()
-			on, onTrace, onProf := runKernelProfiled(t, name, n, mpi.TimelineTracer(tl))
+			on, onTrace, onProf := runKernelProfiled(t, name, n, mpi.TimelineTracer(tl), mpi.WithEngine(eng))
 			telemetry.Disable()
 
 			if !bytes.Equal(offTrace, onTrace) {
@@ -76,7 +81,7 @@ func TestTelemetryOnOffBitIdentical(t *testing.T) {
 
 // runKernelProfiled is runKernel plus an mpiP profile and an optional extra
 // per-rank tracer (the telemetry timeline adapter in the on-leg).
-func runKernelProfiled(t *testing.T, name string, n int, extra func(int) mpi.Tracer) (*mpi.Result, []byte, *mpip.Profile) {
+func runKernelProfiled(t *testing.T, name string, n int, extra func(int) mpi.Tracer, opts ...mpi.Option) (*mpi.Result, []byte, *mpip.Profile) {
 	t.Helper()
 	app := apps.ByName(name)
 	col := trace.NewCollector(n)
@@ -88,8 +93,9 @@ func runKernelProfiled(t *testing.T, name string, n int, extra func(int) mpi.Tra
 		}
 		return mt
 	}
+	opts = append(opts, mpi.WithTracer(tracers))
 	res, err := mpi.Run(n, netmodel.BlueGeneL(), app.Body(apps.NewConfig(n, apps.ClassS)),
-		mpi.WithTracer(tracers))
+		opts...)
 	if err != nil {
 		t.Fatalf("%s: %v", name, err)
 	}
