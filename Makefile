@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: test check bench bench6 bench7 bench-all race timeline serve
+.PHONY: test check bench bench6 bench7 bench8 bench-all race timeline serve
 
 test:
 	$(GO) test ./...
@@ -16,8 +16,8 @@ test:
 # decoder.
 check:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/trace/... ./internal/mpi/... ./internal/conceptual/... ./internal/harness/... ./internal/telemetry/... ./internal/service/...
-	$(GO) test -race -run 'TestEventEngineMatchesGoroutineRuntime|TestRunToRunDeterminism' .
+	$(GO) test -race ./internal/trace/... ./internal/mpi/... ./internal/conceptual/... ./internal/harness/... ./internal/telemetry/... ./internal/service/... ./internal/critpath/...
+	$(GO) test -race -run 'TestEventEngineMatchesGoroutineRuntime|TestRunToRunDeterminism|TestCritPath' .
 	$(GO) test -race -short -run 'TestReplayRepresentationsBitIdentical|TestPooledWorldDeterminism|TestPooledReplayDeterminism' .
 	$(GO) test -run NONE -fuzz FuzzDecode -fuzztime 10s ./internal/trace/
 
@@ -60,6 +60,16 @@ bench7:
 	$(GO) test -run NONE -bench BenchmarkWorldSetup -benchtime 1x -benchmem -timeout 60m . \
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson -series -merge BENCH_7.json > BENCH_7.json.tmp
 	mv BENCH_7.json.tmp BENCH_7.json
+
+# bench8 refreshes BENCH_8.json, the causal-profiler baseline: the
+# critpath/fast BenchmarkRunWorld pairs at 64 and 256 ranks record the
+# profiler-enabled overhead, and the deprecords/graphbytes metrics on the
+# critpath legs record the per-scale dependency-graph memory ceiling.
+bench8:
+	$(GO) test -run NONE -bench 'BenchmarkRunWorld/(fast|critpath)' \
+		-benchtime 60x -benchmem . | tee /dev/stderr | \
+		$(GO) run ./cmd/benchjson -merge BENCH_8.json > BENCH_8.json.tmp
+	mv BENCH_8.json.tmp BENCH_8.json
 
 # bench-all runs the full evaluation-reproduction suite without touching the
 # recorded baseline.

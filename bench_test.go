@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"testing"
 	"time"
+	"unsafe"
 
 	"repro/internal/align"
 	"repro/internal/apps"
@@ -458,6 +459,22 @@ func BenchmarkRunWorld(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+		b.Run(fmt.Sprintf("critpath-%dranks", n), func(b *testing.B) {
+			// The critpath/fast pairs at equal rank counts are the
+			// profiler-enabled overhead evidence in BENCH_8.json; the graph
+			// memory metric is the recording's per-run footprint ceiling.
+			// One graph across iterations: arm() truncates per run but keeps
+			// slice capacity, the steady state a pooled daemon world sees.
+			g := mpi.NewDepGraph()
+			for i := 0; i < b.N; i++ {
+				if _, err := mpi.Run(n, netmodel.BlueGeneL(), runWorldBody(n),
+					mpi.WithCausalProfile(g)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(g.Total()), "deprecords/run")
+			b.ReportMetric(float64(g.Total())*float64(unsafe.Sizeof(mpi.DepRecord{})), "graphbytes/run")
 		})
 	}
 }

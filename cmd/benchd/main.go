@@ -1,24 +1,37 @@
 // Command benchd serves the paper's pipeline as a long-running daemon:
 // POST a generation request — an app/scale selection or a raw scalatrace-go
 // trace — and get back the executable coNCePTuaL/C benchmark together with
-// the predicted per-rank virtual timing and the mpiP-style profile.
+// the predicted per-rank virtual timing, the mpiP-style profile, and the
+// causal critical-path profile of the predicting run.
 //
 // Usage:
 //
 //	benchd [-addr :8125] [-workers n] [-queue n]
 //	       [-cache-dir dir] [-cache-entries n] [-cache-disk-entries n]
 //	       [-job-history n] [-job-timeout 2m] [-drain-timeout 30s]
+//	       [-serve addr]
 //
 // Endpoints:
 //
-//	POST /v1/jobs             submit a job (429 + Retry-After when saturated)
-//	GET  /v1/jobs             list jobs
-//	GET  /v1/jobs/{id}        job status and current pipeline stage
-//	GET  /v1/jobs/{id}/result the generated artifact (JSON)
-//	GET  /v1/jobs/{id}/source the generated source (text/plain)
-//	DELETE /v1/jobs/{id}      cancel a queued or running job
-//	POST /v1/generate         synchronous submit-and-wait
-//	GET  /metrics             telemetry snapshot; /timeline; /healthz
+//	POST /v1/jobs              submit a job (429 + Retry-After when saturated)
+//	GET  /v1/jobs              list jobs
+//	GET  /v1/jobs/{id}         job status and current pipeline stage
+//	GET  /v1/jobs/{id}/result  the generated artifact (JSON)
+//	GET  /v1/jobs/{id}/source  the generated source (text/plain)
+//	GET  /v1/jobs/{id}/profile critical-path & wait-state profile (JSON)
+//	DELETE /v1/jobs/{id}       cancel a queued or running job
+//	POST /v1/generate          synchronous submit-and-wait
+//	GET  /metrics              telemetry snapshot — JSON, or Prometheus text
+//	                           under ?format=prom / Accept negotiation
+//	GET  /timeline; /healthz
+//
+// -serve starts a second, loopback-friendly telemetry listener carrying
+// /metrics and /debug/pprof, shut down gracefully inside the drain window.
+//
+// The daemon logs one structured JSON line per job lifecycle transition
+// (submitted, running, done/failed/canceled) to stderr, carrying the job
+// id, the canonical request hash, cache hit/miss, queue wait and run
+// duration.
 //
 // Results are content-addressed: identical requests are served from the
 // cache without recomputation. SIGINT/SIGTERM drains in-flight jobs before
@@ -30,7 +43,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -53,8 +66,11 @@ func main() {
 		jobHistory   = flag.Int("job-history", 256, "finished jobs kept listable (oldest evicted first)")
 		jobTimeout   = flag.Duration("job-timeout", 2*time.Minute, "per-job pipeline timeout, measured from dequeue")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown drain window")
+		serveAddr    = flag.String("serve", "", "extra telemetry listener (/metrics + /debug/pprof) on `addr`")
 	)
 	flag.Parse()
+
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
 
 	// The daemon always runs with telemetry on: /metrics and /timeline are
 	// part of its API.
@@ -68,9 +84,19 @@ func main() {
 		CacheDiskEntries: *cacheDisk,
 		JobHistory:       *jobHistory,
 		JobTimeout:       *jobTimeout,
+		Logger:           logger,
 	})
 	if err != nil {
 		fatal(err)
+	}
+
+	var tsrv *telemetry.Server
+	if *serveAddr != "" {
+		tsrv, err = telemetry.Serve(*serveAddr)
+		if err != nil {
+			fatal(err)
+		}
+		logger.Info("telemetry listener up", "addr", tsrv.Addr())
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -78,7 +104,7 @@ func main() {
 		fatal(err)
 	}
 	hs := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 5 * time.Second}
-	log.Printf("benchd: serving on %s", ln.Addr())
+	logger.Info("serving", "addr", ln.Addr().String())
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
@@ -87,7 +113,7 @@ func main() {
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	select {
 	case sig := <-sigc:
-		log.Printf("benchd: %v: draining in-flight jobs (up to %v)", sig, *drainTimeout)
+		logger.Info("draining in-flight jobs", "signal", sig.String(), "drain_timeout", drainTimeout.String())
 	case err := <-errc:
 		fatal(err)
 	}
@@ -95,12 +121,19 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
-		log.Printf("benchd: drain window expired, remaining jobs cancelled: %v", err)
+		logger.Warn("drain window expired, remaining jobs cancelled", "error", err.Error())
 	}
 	if err := hs.Shutdown(context.Background()); err != nil {
-		log.Printf("benchd: http shutdown: %v", err)
+		logger.Warn("http shutdown", "error", err.Error())
 	}
-	log.Printf("benchd: stopped")
+	// The telemetry listener drains inside what remains of the same window
+	// rather than leaking past process exit.
+	if tsrv != nil {
+		if err := tsrv.Shutdown(ctx); err != nil {
+			_ = tsrv.Close()
+		}
+	}
+	logger.Info("stopped")
 }
 
 func fatal(err error) {

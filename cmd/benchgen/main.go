@@ -7,12 +7,15 @@
 // Usage:
 //
 //	benchgen [-i app.trace] [-o app.ncptl] [-lang conceptual|c]
-//	         [-window n] [-cpuprofile prof.out]
+//	         [-window n] [-cpuprofile prof.out] [-critpath] [-model bluegene]
 //	         [-telemetry] [-timeline stages.json] [-serve :8080]
 //
 // benchgen's -timeline exports the generation pipeline's wall-clock stages
 // (wildcard resolution, alignment, code generation) rather than a simulated
-// run's virtual time.
+// run's virtual time. -critpath replays the (possibly extrapolated) input
+// trace on -model with the causal profiler attached and prints the
+// critical-path & wait-state report to stderr — the generated source still
+// goes to stdout/-o untouched.
 package main
 
 import (
@@ -24,20 +27,26 @@ import (
 
 	"repro/internal/conceptual"
 	"repro/internal/core"
+	"repro/internal/critpath"
 	"repro/internal/extrap"
+	"repro/internal/mpi"
+	"repro/internal/netmodel"
+	"repro/internal/replay"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
 func main() {
 	var (
-		in      = flag.String("i", "", "input trace file (default stdin)")
-		out     = flag.String("o", "", "output source file (default stdout)")
-		lang    = flag.String("lang", "conceptual", "target language: conceptual, c, or go")
-		scaleN  = flag.Int("extrapolate", 0, "extrapolate the trace to this rank count before generating")
-		second  = flag.String("with", "", "second trace at a different scale (disambiguates -extrapolate)")
-		window  = flag.Int("window", 0, "loop-compression window for the alignment/resolution recompression passes (0 = default)")
-		profile = flag.String("cpuprofile", "", "write a CPU profile of the generation pipeline to this file")
+		in       = flag.String("i", "", "input trace file (default stdin)")
+		out      = flag.String("o", "", "output source file (default stdout)")
+		lang     = flag.String("lang", "conceptual", "target language: conceptual, c, or go")
+		scaleN   = flag.Int("extrapolate", 0, "extrapolate the trace to this rank count before generating")
+		second   = flag.String("with", "", "second trace at a different scale (disambiguates -extrapolate)")
+		window   = flag.Int("window", 0, "loop-compression window for the alignment/resolution recompression passes (0 = default)")
+		profile  = flag.String("cpuprofile", "", "write a CPU profile of the generation pipeline to this file")
+		critFlag = flag.Bool("critpath", false, "replay the input trace and report its critical path to stderr")
+		modelNm  = flag.String("model", "bluegene", "platform model for -critpath replay")
 	)
 	tcli := telemetry.NewCLI()
 	flag.Parse()
@@ -95,6 +104,18 @@ func main() {
 				fatal(err)
 			}
 		}
+	}
+
+	if *critFlag {
+		model := netmodel.Preset(*modelNm)
+		if model == nil {
+			fatal(fmt.Errorf("unknown model %q", *modelNm))
+		}
+		graph := mpi.NewDepGraph()
+		if _, err := replay.Replay(tr, model, mpi.WithCausalProfile(graph)); err != nil {
+			fatal(fmt.Errorf("critpath replay: %w", err))
+		}
+		fmt.Fprintln(os.Stderr, critpath.Analyze(graph))
 	}
 
 	prog, err := core.Generate(tr, &core.Options{

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	experiments -exp all [-class C] [-quick] [-parallel N] [-timeout D]
+//	experiments -exp all [-class C] [-quick] [-parallel N] [-timeout D] [-critpath]
 //	experiments -exp fig6
 //	experiments -exp fig7
 //	experiments -exp correctness
@@ -25,6 +25,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/conceptual"
 	"repro/internal/core"
+	"repro/internal/critpath"
 	"repro/internal/extrap"
 	"repro/internal/harness"
 	"repro/internal/mpi"
@@ -44,6 +45,8 @@ func main() {
 		timeout = flag.Duration("timeout", 0,
 			"wall-clock deadline per simulated run (0 uses the runtime default)")
 	)
+	flag.BoolVar(&critFlag, "critpath", false,
+		"in correctness, also diff original-vs-generated critical-path profiles")
 	tcli := telemetry.NewCLI()
 	flag.Parse()
 	if err := tcli.Start(); err != nil {
@@ -102,6 +105,10 @@ func main() {
 	}
 }
 
+// critFlag turns on the causal critical-path comparison inside the
+// correctness experiment (-critpath).
+var critFlag bool
+
 func correctness(apps.Class, bool) error {
 	fmt.Println("Section 5.2: per-operation event counts and volumes, original vs generated")
 	suite := append(appsSuite(), "sweep3d")
@@ -116,6 +123,17 @@ func correctness(apps.Class, bool) error {
 			status = "MISMATCH: " + strings.Join(res.Diffs, "; ")
 		}
 		fmt.Printf("  %-8s %3d ranks: %s\n", name, n, status)
+		if critFlag {
+			orig, gen, err := harness.CritPathCompare(name, apps.NewConfig(n, apps.ClassW), netmodel.BlueGeneL())
+			if err != nil {
+				return err
+			}
+			d := critpath.Diff(orig, gen)
+			fmt.Printf("    critical-path diff (max err %.2f%%):\n", d.MaxErrPct())
+			for _, line := range strings.Split(strings.TrimRight(d.String(), "\n"), "\n") {
+				fmt.Printf("    %s\n", line)
+			}
+		}
 	}
 	return nil
 }

@@ -4,11 +4,14 @@
 //
 // Usage:
 //
-//	ncrun -n 16 [-model bluegene] [-profile] [-scale-compute 0.5]
+//	ncrun -n 16 [-model bluegene] [-profile] [-critpath] [-scale-compute 0.5]
 //	      [-telemetry] [-timeline run.json] [-serve :8080] prog.ncptl
 //
 // With -timeline the benchmark's virtual-time schedule is exported as Chrome
-// trace-event JSON (one row per task) for ui.perfetto.dev.
+// trace-event JSON (one row per task) for ui.perfetto.dev. -critpath attaches
+// the causal profiler and prints the virtual-time critical path and
+// wait-state breakdown after the run; combined with -timeline, the critical
+// path is overlaid as its own track in the exported trace.
 package main
 
 import (
@@ -17,6 +20,7 @@ import (
 	"os"
 
 	"repro/internal/conceptual"
+	"repro/internal/critpath"
 	"repro/internal/mpi"
 	"repro/internal/mpip"
 	"repro/internal/netmodel"
@@ -28,6 +32,7 @@ func main() {
 		n         = flag.Int("n", 0, "number of tasks (default: the program's REQUIRE num_tasks)")
 		modelName = flag.String("model", "bluegene", "platform model (bluegene, ethernet, ideal)")
 		profile   = flag.Bool("profile", false, "print the mpiP-style profile")
+		critFlag  = flag.Bool("critpath", false, "print the critical-path & wait-state profile")
 		scale     = flag.Float64("scale-compute", 1.0, "multiply all COMPUTE durations (what-if studies)")
 	)
 	tcli := telemetry.NewCLI()
@@ -70,8 +75,14 @@ func main() {
 			return mpi.MultiTracer{prof.TracerFor(rank), timeline(rank)}
 		}
 	}
+	mpiOpts := []mpi.Option{mpi.WithTracer(tracers)}
+	var graph *mpi.DepGraph
+	if *critFlag {
+		graph = mpi.NewDepGraph()
+		mpiOpts = append(mpiOpts, mpi.WithCausalProfile(graph))
+	}
 	res, err := conceptual.Execute(prog, tasks, model,
-		conceptual.WithMPIOptions(mpi.WithTracer(tracers)))
+		conceptual.WithMPIOptions(mpiOpts...))
 	if err != nil {
 		fatal(err)
 	}
@@ -82,6 +93,13 @@ func main() {
 	}
 	if *profile {
 		fmt.Println(prof)
+	}
+	if graph != nil {
+		cp := critpath.Analyze(graph)
+		fmt.Println(cp)
+		if tl := tcli.Timeline(); tl != nil {
+			critpath.Overlay(tl, cp)
+		}
 	}
 	if err := tcli.Finish(); err != nil {
 		fatal(err)

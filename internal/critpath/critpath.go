@@ -1,0 +1,397 @@
+// Package critpath turns the causal dependency graph the event engine
+// records (mpi.WithCausalProfile) into an explanation of a run's virtual
+// time: the critical path — the single chain of compute, transfer and
+// completion segments whose length equals the run's makespan — and a
+// Scalasca-style wait-state classification (late sender, late receiver,
+// wait-at-barrier/NxN, credit stall) with blame rolled up per rank, per
+// operation and per call site.
+//
+// The analysis is a backward walk. Starting from the rank that finished
+// last, at its final clock, it repeatedly asks "what was this rank doing
+// just before time t?": time after the rank's last dependency record is
+// compute; a record whose dependency was already satisfied when the rank
+// arrived (Ready <= Start) contributes its completion cost and the walk
+// stays on the rank; a record the rank actually waited on contributes its
+// completion cost plus (for receives) the wire transfer, and the walk jumps
+// to the rank that satisfied it, at the clock it did so. Every step
+// attributes exactly the time interval it skips over, so the segment
+// lengths telescope: their sum equals the starting clock — the run's
+// elapsed virtual time — which is the invariant the tests pin.
+//
+// Blocking that no record captures — burst throttling — is self-inflicted
+// local serialization with no inter-rank dependency edge, and is counted as
+// compute, exactly as a profiler sampling only MPI wait states would fold
+// it into "application time".
+package critpath
+
+import (
+	"sort"
+
+	"repro/internal/mpi"
+)
+
+// Class labels one critical-path segment.
+type Class uint8
+
+const (
+	// ClassCompute: the rank was executing application code (or stalled on
+	// a self-inflicted burst throttle — see the package comment).
+	ClassCompute Class = iota
+	// ClassTransfer: the path crossed the wire (sender departure to
+	// receiver arrival).
+	ClassTransfer
+	// ClassOverhead: completion bookkeeping — receive overhead, unexpected
+	// copy, resume latency, collective algorithm cost.
+	ClassOverhead
+)
+
+var classNames = [...]string{"compute", "transfer", "overhead"}
+
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return "unknown"
+}
+
+// WaitState is the Scalasca-style classification of recorded wait time.
+type WaitState uint8
+
+const (
+	// LateSender: a receive waited because the message had not yet arrived.
+	LateSender WaitState = iota
+	// LateReceiver: a receive paid the unexpected-queue copy because the
+	// message arrived before the receive was posted.
+	LateReceiver
+	// WaitAtBarrier: early arrival at a barrier round.
+	WaitAtBarrier
+	// WaitAtNxN: early arrival at an all-to-all round.
+	WaitAtNxN
+	// WaitAtColl: early arrival at any other collective round.
+	WaitAtColl
+	// CreditStall: a sender stalled on flow control until the receiver
+	// drained its backlog.
+	CreditStall
+
+	NumWaitStates
+)
+
+var waitStateNames = [...]string{
+	"late-sender", "late-receiver", "wait-at-barrier", "wait-at-nxn",
+	"wait-at-coll", "credit-stall",
+}
+
+func (s WaitState) String() string {
+	if int(s) < len(waitStateNames) {
+		return waitStateNames[s]
+	}
+	return "unknown"
+}
+
+// Segment is one critical-path interval on one rank, in ascending time
+// order within Profile.Path. Op and Site attribute transfer/overhead
+// segments to the operation that produced them; compute segments carry
+// neither.
+type Segment struct {
+	Rank    int32
+	StartUS float64
+	EndUS   float64
+	Class   Class
+	Op      mpi.Op
+	Site    uint64
+}
+
+// StateTotal aggregates one wait state across every record of the run.
+type StateTotal struct {
+	State  WaitState `json:"-"`
+	Name   string    `json:"state"`
+	WaitUS float64   `json:"wait_us"`
+	Count  int       `json:"count"`
+}
+
+// OpTotal aggregates wait time per semantic operation.
+type OpTotal struct {
+	Op     mpi.Op  `json:"-"`
+	Name   string  `json:"op"`
+	WaitUS float64 `json:"wait_us"`
+	Count  int     `json:"count"`
+}
+
+// SiteTotal aggregates wait time per call site (the SetCallSite / stack-walk
+// hash the tracer also stamps on events).
+type SiteTotal struct {
+	Site   uint64  `json:"site"`
+	Op     mpi.Op  `json:"-"`
+	OpName string  `json:"op"`
+	WaitUS float64 `json:"wait_us"`
+	Count  int     `json:"count"`
+}
+
+// RankWait is one rank's aggregate recorded wait time.
+type RankWait struct {
+	Rank   int     `json:"rank"`
+	WaitUS float64 `json:"wait_us"`
+}
+
+// maxSiteRows and maxRankRows bound the rollup tables a Profile retains, so
+// a 262144-rank run's profile stays shippable over HTTP.
+const (
+	maxSiteRows = 64
+	maxRankRows = 16
+)
+
+// Profile is the result of analyzing one run's dependency graph.
+type Profile struct {
+	// N is the world size; ElapsedUS the run's virtual makespan.
+	N         int     `json:"n"`
+	ElapsedUS float64 `json:"elapsed_us"`
+	// CritPathUS is the summed length of the critical-path segments. Up to
+	// floating-point association it equals ElapsedUS; a material gap means
+	// the graph was truncated.
+	CritPathUS float64 `json:"crit_path_us"`
+	// Records is the number of dependency records analyzed; Truncated
+	// reports that the recorder hit its bound and dropped some.
+	Records   int  `json:"records"`
+	Truncated bool `json:"truncated"`
+
+	// Per-class decomposition of the critical path.
+	PathComputeUS  float64 `json:"path_compute_us"`
+	PathTransferUS float64 `json:"path_transfer_us"`
+	PathOverheadUS float64 `json:"path_overhead_us"`
+	// PathOps decomposes the path's non-compute time per operation.
+	PathOps []OpTotal `json:"path_ops,omitempty"`
+
+	// Wait-state totals across every record of every rank (not only the
+	// path): the run's aggregate blocked time, classified.
+	TotalWaitUS float64      `json:"total_wait_us"`
+	Wait        []StateTotal `json:"wait,omitempty"`
+	Ops         []OpTotal    `json:"ops,omitempty"`
+	Sites       []SiteTotal  `json:"sites,omitempty"`
+	TopRanks    []RankWait   `json:"top_ranks,omitempty"`
+
+	// Path holds the critical-path segments in ascending time order. Kept
+	// out of the JSON form (it can be as long as the run); the timeline
+	// overlay consumes it in memory.
+	Path []Segment `json:"-"`
+}
+
+// Analyze computes the critical path and wait-state profile of a recorded
+// run. The graph must come from a completed run (FinalUS populated); an
+// empty or unfinished graph yields an empty profile.
+func Analyze(g *mpi.DepGraph) *Profile {
+	p := &Profile{N: g.N, ElapsedUS: g.ElapsedUS, Records: g.Total(), Truncated: g.Truncated}
+	if g.N == 0 || len(g.FinalUS) != g.N {
+		return p
+	}
+	p.walk(g)
+	p.classify(g)
+	return p
+}
+
+// walk performs the backward critical-path traversal described in the
+// package comment.
+func (p *Profile) walk(g *mpi.DepGraph) {
+	// Start at the last rank to finish, lowest rank breaking ties (the same
+	// deterministic tie-break the engine's run queue uses).
+	r := 0
+	for i := 1; i < g.N; i++ {
+		if g.FinalUS[i] > g.FinalUS[r] {
+			r = i
+		}
+	}
+	t := g.FinalUS[r]
+
+	// ptr[i] walks rank i's records newest-to-oldest. Records skipped
+	// because End > t stay skipped: the walk's time at any future visit to
+	// the rank is <= the current t, so they can never be needed again.
+	ptr := make([]int, g.N)
+	for i := range ptr {
+		ptr[i] = len(g.Records[i]) - 1
+	}
+
+	var path []Segment // built backward, reversed at the end
+	opPath := map[mpi.Op]*OpTotal{}
+	addSeg := func(s Segment) {
+		d := s.EndUS - s.StartUS
+		p.CritPathUS += d
+		switch s.Class {
+		case ClassCompute:
+			p.PathComputeUS += d
+		case ClassTransfer:
+			p.PathTransferUS += d
+		case ClassOverhead:
+			p.PathOverheadUS += d
+		}
+		if s.Class != ClassCompute {
+			ot := opPath[s.Op]
+			if ot == nil {
+				ot = &OpTotal{Op: s.Op, Name: s.Op.String()}
+				opPath[s.Op] = ot
+			}
+			ot.WaitUS += d
+			ot.Count++
+		}
+		path = append(path, s)
+	}
+
+	for {
+		recs := g.Records[r]
+		for ptr[r] >= 0 && recs[ptr[r]].End > t {
+			ptr[r]--
+		}
+		if ptr[r] < 0 {
+			// Nothing before t on this rank depends on anyone: pure compute
+			// back to the run's start.
+			if t > 0 {
+				addSeg(Segment{Rank: int32(r), StartUS: 0, EndUS: t, Class: ClassCompute})
+			}
+			break
+		}
+		rec := recs[ptr[r]]
+		ptr[r]--
+		if t > rec.End {
+			addSeg(Segment{Rank: int32(r), StartUS: rec.End, EndUS: t, Class: ClassCompute})
+		}
+		if rec.Ready > rec.Start {
+			// The rank actually waited here: its time between Ready and End
+			// is completion cost; before Ready it was blocked, so the path
+			// continues on the rank that satisfied the dependency, at the
+			// clock it did so. Receives additionally cross the wire.
+			if rec.End > rec.Ready {
+				addSeg(Segment{Rank: int32(r), StartUS: rec.Ready, EndUS: rec.End,
+					Class: ClassOverhead, Op: rec.Op, Site: rec.Site})
+			}
+			if rec.Kind == mpi.DepRecv && rec.Ready > rec.FromClock {
+				addSeg(Segment{Rank: int32(r), StartUS: rec.FromClock, EndUS: rec.Ready,
+					Class: ClassTransfer, Op: rec.Op, Site: rec.Site})
+			}
+			r = int(rec.From)
+			t = rec.FromClock
+		} else {
+			// The dependency was satisfied before the rank arrived: only the
+			// completion cost is on the path, and the walk stays local.
+			if rec.End > rec.Start {
+				addSeg(Segment{Rank: int32(r), StartUS: rec.Start, EndUS: rec.End,
+					Class: ClassOverhead, Op: rec.Op, Site: rec.Site})
+			}
+			t = rec.Start
+		}
+	}
+
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	p.Path = path
+	p.PathOps = sortedOps(opPath)
+}
+
+// classify rolls every record's wait time up into the Scalasca-style state,
+// per-op, per-site and per-rank tables.
+func (p *Profile) classify(g *mpi.DepGraph) {
+	var states [NumWaitStates]StateTotal
+	for s := range states {
+		states[s].State = WaitState(s)
+		states[s].Name = WaitState(s).String()
+	}
+	ops := map[mpi.Op]*OpTotal{}
+	sites := map[uint64]*SiteTotal{}
+	rankWait := make([]float64, g.N)
+
+	note := func(s WaitState, us float64) {
+		if us <= 0 {
+			return
+		}
+		states[s].WaitUS += us
+		states[s].Count++
+		p.TotalWaitUS += us
+	}
+	for rank, recs := range g.Records {
+		for i := range recs {
+			rec := &recs[i]
+			wait := rec.Ready - rec.Start
+			if wait < 0 {
+				wait = 0
+			}
+			switch rec.Kind {
+			case mpi.DepRecv:
+				note(LateSender, wait)
+				if rec.Unexpected {
+					note(LateReceiver, rec.Penalty)
+					wait += rec.Penalty
+				}
+			case mpi.DepCredit:
+				note(CreditStall, wait)
+			case mpi.DepColl:
+				switch rec.Op {
+				case mpi.OpBarrier:
+					note(WaitAtBarrier, wait)
+				case mpi.OpAlltoall, mpi.OpAlltoallv:
+					note(WaitAtNxN, wait)
+				default:
+					note(WaitAtColl, wait)
+				}
+			}
+			if wait <= 0 {
+				continue
+			}
+			rankWait[rank] += wait
+			ot := ops[rec.Op]
+			if ot == nil {
+				ot = &OpTotal{Op: rec.Op, Name: rec.Op.String()}
+				ops[rec.Op] = ot
+			}
+			ot.WaitUS += wait
+			ot.Count++
+			st := sites[rec.Site]
+			if st == nil {
+				st = &SiteTotal{Site: rec.Site, Op: rec.Op, OpName: rec.Op.String()}
+				sites[rec.Site] = st
+			}
+			st.WaitUS += wait
+			st.Count++
+		}
+	}
+
+	for s := range states {
+		if states[s].Count > 0 {
+			p.Wait = append(p.Wait, states[s])
+		}
+	}
+	p.Ops = sortedOps(ops)
+	for _, st := range sites {
+		p.Sites = append(p.Sites, *st)
+	}
+	sort.Slice(p.Sites, func(i, j int) bool {
+		a, b := &p.Sites[i], &p.Sites[j]
+		return a.WaitUS > b.WaitUS || (a.WaitUS == b.WaitUS && a.Site < b.Site)
+	})
+	if len(p.Sites) > maxSiteRows {
+		p.Sites = p.Sites[:maxSiteRows]
+	}
+	for rank, us := range rankWait {
+		if us > 0 {
+			p.TopRanks = append(p.TopRanks, RankWait{Rank: rank, WaitUS: us})
+		}
+	}
+	sort.Slice(p.TopRanks, func(i, j int) bool {
+		a, b := p.TopRanks[i], p.TopRanks[j]
+		return a.WaitUS > b.WaitUS || (a.WaitUS == b.WaitUS && a.Rank < b.Rank)
+	})
+	if len(p.TopRanks) > maxRankRows {
+		p.TopRanks = p.TopRanks[:maxRankRows]
+	}
+}
+
+// sortedOps flattens an op-total map in descending wait order, op index
+// breaking ties (deterministic output for deterministic runs).
+func sortedOps(m map[mpi.Op]*OpTotal) []OpTotal {
+	out := make([]OpTotal, 0, len(m))
+	for _, ot := range m {
+		out = append(out, *ot)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := &out[i], &out[j]
+		return a.WaitUS > b.WaitUS || (a.WaitUS == b.WaitUS && a.Op < b.Op)
+	})
+	return out
+}

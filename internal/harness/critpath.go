@@ -1,0 +1,37 @@
+package harness
+
+import (
+	"context"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/critpath"
+	"repro/internal/mpi"
+	"repro/internal/netmodel"
+)
+
+// CritPathCompare runs one application and its generated benchmark with the
+// event engine's causal profiler attached and returns both analyzed
+// critical-path profiles — the causal counterpart of Correctness's
+// event-count comparison. The original's profile explains where its virtual
+// time went; diffing it against the generated benchmark's profile
+// (critpath.Diff) checks that the benchmark reproduces not just the op
+// counts but the run's blocking structure.
+func CritPathCompare(name string, cfg apps.Config, model *netmodel.Model) (orig, gen *critpath.Profile, err error) {
+	gOrig := mpi.NewDepGraph()
+	run, err := traceApp(context.Background(), name, cfg, model,
+		[]mpi.Option{mpi.WithCausalProfile(gOrig)})
+	if err != nil {
+		return nil, nil, err
+	}
+	prog, err := core.Generate(run.Trace, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	gGen := mpi.NewDepGraph()
+	if _, err := runProgram(prog, cfg.N, model,
+		[]mpi.Option{mpi.WithCausalProfile(gGen)}); err != nil {
+		return nil, nil, err
+	}
+	return critpath.Analyze(gOrig), critpath.Analyze(gGen), nil
+}

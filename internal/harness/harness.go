@@ -43,6 +43,12 @@ func TraceApp(name string, cfg apps.Config, model *netmodel.Model, extra ...func
 // simulated run is torn down (no leaked rank goroutines) and the context
 // error is returned. Service jobs run their whole pipeline under one ctx.
 func TraceAppContext(ctx context.Context, name string, cfg apps.Config, model *netmodel.Model, extra ...func(rank int) mpi.Tracer) (*AppRun, error) {
+	return traceApp(ctx, name, cfg, model, nil, extra...)
+}
+
+// traceApp is the shared implementation: extraOpts threads additional mpi
+// options (e.g. the causal profiler) into the run.
+func traceApp(ctx context.Context, name string, cfg apps.Config, model *netmodel.Model, extraOpts []mpi.Option, extra ...func(rank int) mpi.Tracer) (*AppRun, error) {
 	app := apps.ByName(name)
 	if app == nil {
 		return nil, fmt.Errorf("harness: unknown app %q (have %v)", name, apps.Names())
@@ -60,6 +66,7 @@ func TraceAppContext(ctx context.Context, name string, cfg apps.Config, model *n
 		return mt
 	}
 	opts := append(runOptions(), mpi.WithTracer(tracers))
+	opts = append(opts, extraOpts...)
 	if ctx != nil && ctx.Done() != nil {
 		opts = append(opts, mpi.WithContext(ctx))
 	}
@@ -99,13 +106,19 @@ func GenerateAndRun(tr *trace.Trace, model *netmodel.Model) (*BenchmarkRun, erro
 
 // RunProgram executes a coNCePTuaL program under profiling and re-tracing.
 func RunProgram(prog *conceptual.Program, n int, model *netmodel.Model) (*BenchmarkRun, error) {
+	return runProgram(prog, n, model, nil)
+}
+
+// runProgram is RunProgram with additional mpi options threaded through.
+func runProgram(prog *conceptual.Program, n int, model *netmodel.Model, extraOpts []mpi.Option) (*BenchmarkRun, error) {
 	prof := mpip.NewProfile()
 	col := trace.NewCollector(n)
 	tracers := func(rank int) mpi.Tracer {
 		return mpi.MultiTracer{col.TracerFor(rank), prof.TracerFor(rank)}
 	}
-	res, err := conceptual.Execute(prog, n, model,
-		conceptual.WithMPIOptions(append(runOptions(), mpi.WithTracer(tracers))...))
+	opts := append(runOptions(), mpi.WithTracer(tracers))
+	opts = append(opts, extraOpts...)
+	res, err := conceptual.Execute(prog, n, model, conceptual.WithMPIOptions(opts...))
 	if err != nil {
 		return nil, fmt.Errorf("harness: executing generated benchmark: %w", err)
 	}

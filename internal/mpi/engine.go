@@ -180,6 +180,10 @@ func (pw *pooledWorld) reset(model *netmodel.Model, cfg *config) {
 	w.model = model
 	w.stop.reset()
 	w.sched.reset()
+	// Always assigned: a nil graph clears a previous profiled run's hook.
+	if w.prof = cfg.graph; w.prof != nil {
+		w.prof.arm(w.n)
+	}
 	for i := range pw.ranks {
 		var tr Tracer
 		if cfg.tracerFor != nil {

@@ -12,7 +12,11 @@ type message struct {
 	src, dst int
 	tag      int
 	size     int
-	arrival  float64 // virtual time the payload is available at dst
+	// departure is the sender's clock at injection (send overhead paid),
+	// recorded for causal profiling: the instant the dependency chain
+	// crosses from sender to wire.
+	departure float64
+	arrival   float64 // virtual time the payload is available at dst
 	// shadowArrival is the arrival on the stall-free shadow timeline used
 	// to measure offered load for the burst-throttle model.
 	shadowArrival float64
@@ -232,10 +236,10 @@ type mailbox struct {
 	mu   sync.Mutex
 	cond sync.Cond
 
-	srcIdx   []int32           // dense index by source world rank; 0 = none, else 1+slot
-	srcMap   map[int32]int32   // sparse index, used when srcIdx is nil
-	slots    []srcSlot         // per-source state for sources seen so far
-	unexLive int               // live (unmatched) unexpected messages across all sources
+	srcIdx   []int32         // dense index by source world rank; 0 = none, else 1+slot
+	srcMap   map[int32]int32 // sparse index, used when srcIdx is nil
+	slots    []srcSlot       // per-source state for sources seen so far
+	unexLive int             // live (unmatched) unexpected messages across all sources
 
 	postedAny recvQueue // AnySource receives, post order
 	postCount uint64    // post-order stamp generator
@@ -620,6 +624,7 @@ func (mb *mailbox) releaseCredit(cw *creditWaiter) {
 	snd := mb.seq.rank(cw.rank)
 	snd.cwDone = true
 	snd.cwResume = mb.lastDrain
+	snd.cwFrom = mb.owner
 	mb.seq.wake(cw.rank)
 	*cw = creditWaiter{}
 }

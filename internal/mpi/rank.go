@@ -50,6 +50,17 @@ type Rank struct {
 	// scheduler's token handoff.
 	cwDone   bool
 	cwResume float64
+	// cwFrom is the world rank of the receiver whose drain released this
+	// rank's last flow-control stall (written by releaseCredit alongside
+	// cwResume). Causal profiling only.
+	cwFrom int32
+
+	// curSite mirrors the call-site hash of the operation in flight when the
+	// run is causally profiled (w.prof != nil): enter() and the stackless
+	// executor keep it current so dependency records deep inside shared
+	// completion code (completeRecv, credit resumes, collective rounds) can
+	// attribute blame without re-walking the stack.
+	curSite uint64
 
 	// nextSite, when armed by SetCallSite, overrides the stack-walk call-site
 	// hash for the next traced operation. Replay drivers use it to stamp the
@@ -147,6 +158,8 @@ func (r *Rank) reset(tracer Tracer) {
 	r.opCount = 0
 	r.cwDone = false
 	r.cwResume = 0
+	r.cwFrom = 0
+	r.curSite = 0
 	r.nextSite = 0
 	r.siteSet = false
 	clear(r.lastInject)
@@ -233,9 +246,26 @@ func (r *Rank) enter() entryState {
 		st.site = r.nextSite
 		r.siteSet = false
 	} else if r.tracer != nil {
+		// The causal profiler deliberately does NOT trigger a stack walk
+		// here: blame attribution rides on SetCallSite stamps (replay,
+		// generated programs) or on the tracer's signature when one is
+		// attached anyway. Walking the stack per operation would cost ~1us
+		// each and sink the profiler's <=5% overhead budget; a profiled but
+		// untraced, unstamped body records site 0 (unattributed) instead.
 		st.site = callSite()
 	}
+	if r.w.prof != nil {
+		r.curSite = st.site
+	}
 	return st
+}
+
+// noteSite keeps curSite current for profiled runs; the stackless executor
+// calls it where enter() would have (its entry snapshots are built inline).
+func (r *Rank) noteSite(site uint64) {
+	if r.w.prof != nil {
+		r.curSite = site
+	}
 }
 
 // SetCallSite overrides the call-site hash recorded for the next MPI
@@ -294,6 +324,7 @@ func (r *Rank) inject(wdst, tag, size int) *message {
 		dst:           wdst,
 		tag:           tag,
 		size:          size,
+		departure:     r.clock,
 		arrival:       r.clock + transfer,
 		shadowArrival: r.shadow + transfer,
 	}
@@ -336,7 +367,13 @@ func (r *Rank) stallForCredit(mb *mailbox, msg *message) {
 	m := r.w.model
 	resumeAt, stalled := mb.awaitCredit(msg, m.CreditWindow, r.clock)
 	if stalled {
+		start := r.clock
 		r.clock = math.Max(r.clock, resumeAt) + m.ResumeLatencyUS
+		if g := r.w.prof; g != nil {
+			g.add(DepRecord{Kind: DepCredit, Op: OpSend, Rank: int32(r.rank),
+				From: r.cwFrom, Site: r.curSite, Start: start, Ready: resumeAt,
+				End: r.clock, FromClock: resumeAt})
+		}
 	}
 }
 
@@ -349,12 +386,21 @@ func (r *Rank) stallForCredit(mb *mailbox, msg *message) {
 func (r *Rank) completeRecv(p *postedRecv) {
 	m := r.w.model
 	msg := p.msg
+	waitStart := r.clock // a parked rank's clock never advances: this is the wait's start
 	r.clock = math.Max(r.clock, msg.arrival) + m.RecvOverheadUS
 	r.shadow = math.Max(r.shadow, msg.shadowArrival) + m.RecvOverheadUS
-	if msg.arrival <= p.postTime {
-		penalty := m.UnexpectedCopyUS(msg.size)
+	unexpected := msg.arrival <= p.postTime
+	var penalty float64
+	if unexpected {
+		penalty = m.UnexpectedCopyUS(msg.size)
 		r.clock += penalty
 		r.shadow += penalty
+	}
+	if g := r.w.prof; g != nil {
+		g.add(DepRecord{Kind: DepRecv, Op: OpRecv, Rank: int32(r.rank),
+			From: int32(msg.src), Site: r.curSite, Size: msg.size,
+			Unexpected: unexpected, Start: waitStart, Ready: msg.arrival,
+			End: r.clock, FromClock: msg.departure, Penalty: penalty})
 	}
 	r.w.mailboxes[r.rank].drain(msg, r.clock)
 }

@@ -44,6 +44,18 @@ type seqColl struct {
 	completion       float64
 	shadowCompletion float64
 	shared           any
+
+	// profArrive collects the current round's arrivals (world rank, clock,
+	// call site) when the run is causally profiled; the round close turns
+	// them into one DepColl record per member and resets the slice.
+	profArrive []collArrival
+}
+
+// collArrival is one profiled rendezvous arrival.
+type collArrival struct {
+	world int32
+	clock float64
+	site  uint64
 }
 
 func newSeqColl(e *eventLoop, members []int) *seqColl {
@@ -65,6 +77,42 @@ func (cs *seqColl) reset() {
 	cs.completion = 0
 	cs.shadowCompletion = 0
 	cs.shared = nil
+	cs.profArrive = cs.profArrive[:0]
+}
+
+// noteArrival records one member's profiled arrival on the current round.
+func (cs *seqColl) noteArrival(commRank int, clock float64) {
+	world := int32(cs.members[commRank])
+	r := cs.e.rank(world)
+	if r.w.prof == nil {
+		return
+	}
+	cs.profArrive = append(cs.profArrive, collArrival{world: world, clock: clock, site: r.curSite})
+}
+
+// profClose emits one DepColl record per member of the just-closed round.
+// From is the round's last arriver under the deterministic rule (max
+// arrival clock, lowest world rank breaking ties), so the blame assignment
+// is identical no matter which representation drove the dispatch order.
+// Must run after the round's completion is computed and before finishRound
+// invalidates the round state.
+func (cs *seqColl) profClose() {
+	if len(cs.profArrive) == 0 {
+		return
+	}
+	g := cs.e.rank(cs.profArrive[0].world).w.prof
+	from := cs.profArrive[0]
+	for _, a := range cs.profArrive[1:] {
+		if a.clock > from.clock || (a.clock == from.clock && a.world < from.world) {
+			from = a
+		}
+	}
+	for _, a := range cs.profArrive {
+		g.add(DepRecord{Kind: DepColl, Op: cs.op, Rank: a.world, From: from.world,
+			Site: a.site, Start: a.clock, Ready: cs.maxClock, End: cs.completion,
+			FromClock: cs.maxClock})
+	}
+	cs.profArrive = cs.profArrive[:0]
 }
 
 // arriveRound performs the arrival bookkeeping for a general round and
@@ -92,6 +140,7 @@ func (cs *seqColl) arriveRound(commRank int, op Op, clock, shadow float64, contr
 	}
 	cs.payload[commRank] = contrib
 	cs.arrived++
+	cs.noteArrival(commRank, clock)
 	return myGen, cs.arrived == len(cs.members)
 }
 
@@ -104,6 +153,7 @@ func (cs *seqColl) closeRound(finish func(maxClock float64, contribs []any) (com
 	for i := range cs.payload {
 		cs.payload[i] = nil
 	}
+	cs.profClose()
 	cs.finishRound()
 }
 
@@ -141,6 +191,7 @@ func (cs *seqColl) arriveFixedRound(commRank int, op Op, clock, shadow float64, 
 		cs.maxPayload = contrib
 	}
 	cs.arrived++
+	cs.noteArrival(commRank, clock)
 	return myGen, cs.arrived == len(cs.members)
 }
 
@@ -149,6 +200,7 @@ func (cs *seqColl) closeFixedRound(m *netmodel.Model, cc collCost) {
 	cs.completion = cs.maxClock + evalCollCost(m, cc, cs.maxPayload)
 	cs.shadowCompletion = cs.maxShadow + (cs.completion - cs.maxClock)
 	cs.shared = nil
+	cs.profClose()
 	cs.finishRound()
 }
 

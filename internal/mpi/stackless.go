@@ -131,12 +131,12 @@ type slExec struct {
 	// communicator; me this rank's comm rank in c; wdst the send target's
 	// world rank; rp the blocking receive in flight; wCommID/wCommSize the
 	// drain's running event attribution (last request wins, as in Waitall).
-	st       entryState
-	c        *Comm
-	me       int
-	wdst     int
-	rp       *postedRecv
-	wCommID  int
+	st        entryState
+	c         *Comm
+	me        int
+	wdst      int
+	rp        *postedRecv
+	wCommID   int
 	wCommSize int
 
 	// Park registration (see the pend constants).
@@ -191,7 +191,17 @@ func (x *slExec) tryResume(r *Rank) bool {
 		if !r.cwDone {
 			return false
 		}
-		r.clock = math.Max(r.clock, r.cwResume) + r.w.model.ResumeLatencyUS
+		// Mirrors the tail of stallForCredit, including its profiling hook:
+		// the stall resolved at the releasing drain clock (or logically
+		// before the sender's own clock — resumeAt folds both).
+		start := r.clock
+		resumeAt := math.Max(start, r.cwResume)
+		r.clock = resumeAt + r.w.model.ResumeLatencyUS
+		if g := r.w.prof; g != nil {
+			g.add(DepRecord{Kind: DepCredit, Op: OpSend, Rank: int32(r.rank),
+				From: r.cwFrom, Site: r.curSite, Start: start, Ready: resumeAt,
+				End: r.clock, FromClock: resumeAt})
+		}
 	case pendColl:
 		if x.pendCS.gen == x.pendGen {
 			// Round not closed yet: re-register, as await's loop re-appends
@@ -215,9 +225,10 @@ func (x *slExec) step(r *Rank) (done bool) {
 		case phInit:
 			// rankMain's Init event.
 			st := entryState{start: r.clock, compute: r.clock - r.lastOpEnd}
-			if r.tracer != nil {
+			if r.tracer != nil || r.w.prof != nil {
 				st.site = rankMainSite
 			}
+			r.noteSite(st.site)
 			r.record(st, &Event{Op: OpInit, CommID: 0, CommSize: r.w.n,
 				Peer: NoPeer, PeerWorld: NoPeer, Root: -1})
 			x.phase = phStream
@@ -315,6 +326,7 @@ func (x *slExec) execSend(r *Rank) bool {
 		r.Compute(op.ComputeUS)
 		r.checkActive()
 		x.st = entryState{start: r.clock, compute: r.clock - r.lastOpEnd, site: op.Site}
+		r.noteSite(op.Site)
 		c := x.comm(r, op.CommID)
 		x.c = c
 		x.wdst = c.WorldRank(op.Peer)
@@ -346,6 +358,7 @@ func (x *slExec) execRecv(r *Rank) bool {
 		r.Compute(op.ComputeUS)
 		r.checkActive()
 		x.st = entryState{start: r.clock, compute: r.clock - r.lastOpEnd, site: op.Site}
+		r.noteSite(op.Site)
 		c := x.comm(r, op.CommID)
 		x.c = c
 		wsrc := op.Peer
@@ -384,6 +397,7 @@ func (x *slExec) execDrain(r *Rank) bool {
 		}
 		r.checkActive()
 		x.st = entryState{start: r.clock, compute: r.clock - r.lastOpEnd, site: op.Site}
+		r.noteSite(op.Site)
 		x.wCommID, x.wCommSize = 0, r.w.n
 		x.widx = 0
 		x.wstage = 0
@@ -513,6 +527,7 @@ func (x *slExec) execColl(r *Rank) bool {
 		r.Compute(op.ComputeUS)
 		r.checkActive()
 		x.st = entryState{start: r.clock, compute: r.clock - r.lastOpEnd, site: op.Site}
+		r.noteSite(op.Site)
 		c := x.comm(r, op.CommID)
 		x.c = c
 		x.me = r.myCommRank(c)
@@ -547,6 +562,7 @@ func (x *slExec) execSplit(r *Rank) bool {
 		r.Compute(op.ComputeUS)
 		r.checkActive()
 		x.st = entryState{start: r.clock, compute: r.clock - r.lastOpEnd, site: op.Site}
+		r.noteSite(op.Site)
 		c := x.comm(r, op.CommID)
 		x.c = c
 		x.me = r.myCommRank(c)
@@ -584,6 +600,7 @@ func (x *slExec) execDup(r *Rank) bool {
 		r.Compute(op.ComputeUS)
 		r.checkActive()
 		x.st = entryState{start: r.clock, compute: r.clock - r.lastOpEnd, site: op.Site}
+		r.noteSite(op.Site)
 		c := x.comm(r, op.CommID)
 		x.c = c
 		x.me = r.myCommRank(c)
@@ -618,9 +635,10 @@ func (x *slExec) execFinalize(r *Rank) bool {
 		c := r.w.commWorld
 		x.c = c
 		x.st = entryState{start: r.clock, compute: r.clock - r.lastOpEnd}
-		if r.tracer != nil {
+		if r.tracer != nil || r.w.prof != nil {
 			x.st.site = rankMainSite
 		}
+		r.noteSite(x.st.site)
 		x.me = r.myCommRank(c)
 		cs := c.sync.(*seqColl)
 		myGen, last := cs.arriveFixedRound(x.me, OpFinalize, r.clock, r.shadow, 0)
@@ -781,7 +799,11 @@ func runStackless(w *World, cfg *config, ranks []Rank, progFor func(rank int) Op
 	}
 	if !deadlocked && e.nLive == 0 {
 		// Completed: a timeout or cancellation that raced the finish is moot.
-		return collectResult(ranks), nil
+		res := collectResult(ranks)
+		if w.prof != nil {
+			w.prof.finish(res)
+		}
+		return res, nil
 	}
 	if ctxErr != nil {
 		return nil, fmt.Errorf("mpi: run cancelled: %w", ctxErr)

@@ -5,6 +5,7 @@ import (
 	"hash/fnv"
 	"runtime"
 	"strings"
+	"sync"
 )
 
 // Event describes one completed MPI operation as observed by the PMPI-style
@@ -100,9 +101,25 @@ func (m MultiTracer) Record(ev *Event) {
 func callSite() uint64 {
 	var pcs [48]uintptr
 	n := runtime.Callers(2, pcs[:])
+
+	// Symbolizing and hashing the frames costs microseconds; with the causal
+	// profiler (or a tracer) attached it would run on every operation of
+	// every rank. A given raw PC array always symbolizes to the same
+	// signature within a process, so memoize on a hash of the PCs — after
+	// the first visit a call site costs one stack walk and one map hit.
+	kh := fnv.New64a()
+	var buf [8]byte
+	for _, pc := range pcs[:n] {
+		binary.LittleEndian.PutUint64(buf[:], uint64(pc))
+		kh.Write(buf[:])
+	}
+	key := kh.Sum64()
+	if site, ok := siteCache.Load(key); ok {
+		return site.(uint64)
+	}
+
 	frames := runtime.CallersFrames(pcs[:n])
 	h := fnv.New64a()
-	var buf [8]byte
 	for {
 		f, more := frames.Next()
 		if strings.HasSuffix(f.Function, "internal/mpi.rankMain") {
@@ -117,8 +134,14 @@ func callSite() uint64 {
 			break
 		}
 	}
-	return h.Sum64()
+	site := h.Sum64()
+	siteCache.Store(key, site)
+	return site
 }
+
+// siteCache memoizes callSite results per raw PC array across all worlds
+// (ranks from concurrently running worlds hit it, hence sync.Map).
+var siteCache sync.Map
 
 func isRuntimeFrame(fn string) bool {
 	return strings.Contains(fn, "internal/mpi.(*Rank).") ||

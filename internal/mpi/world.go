@@ -29,6 +29,9 @@ type World struct {
 	// world runs on the goroutine-per-rank runtime (WithGoroutineRuntime or
 	// WithReferenceCollectives).
 	sched *eventLoop
+	// prof, when non-nil, is the causal dependency graph this run records
+	// into (WithCausalProfile). Event engine only; see depgraph.go.
+	prof *DepGraph
 }
 
 // Result reports the outcome of a completed run.
@@ -46,6 +49,7 @@ type config struct {
 	goroutineRT bool
 	ctx         context.Context
 	engine      *Engine
+	graph       *DepGraph
 }
 
 // Option configures a Run.
@@ -108,6 +112,19 @@ func WithEngine(eng *Engine) Option {
 	return func(c *config) { c.engine = eng }
 }
 
+// WithCausalProfile records the run's causal dependency graph — every
+// resolved receive match, flow-control resume and collective rendezvous,
+// with virtual timestamps and call sites — into g for post-run critical-path
+// and wait-state analysis (see internal/critpath). g is rearmed at run
+// start; read it after Run returns successfully. Recording is observation
+// only: virtual clocks, traces and results are bit-identical with and
+// without it. Requires the discrete-event engine — combining it with
+// WithGoroutineRuntime or WithReferenceCollectives is an error, because the
+// goroutine runtime has no single observation point per dependency.
+func WithCausalProfile(g *DepGraph) Option {
+	return func(c *config) { c.graph = g }
+}
+
 // EventEngineSelected reports whether the given options leave the default
 // discrete-event engine in charge (neither WithGoroutineRuntime nor
 // WithReferenceCollectives). Callers use it to decide whether
@@ -133,9 +150,16 @@ const denseSrcIndexRanks = 4096
 // below the application body and truncates the walk at this frame, so a
 // source location hashes identically no matter which engine drives it.
 func rankMain(r *Rank, body func(*Rank)) {
+	// Init and Finalize issue from this exact frame, so their site is known
+	// statically: stamp it rather than letting enter() walk an empty stack.
+	// rankMainSite is by construction the hash callSite() produces here
+	// (zero frames above rankMain), and the stackless executor stamps the
+	// same constant, so all representations agree without a walk.
+	r.SetCallSite(rankMainSite)
 	r.record(r.enter(), &Event{Op: OpInit, CommID: 0, CommSize: r.w.n,
 		Peer: NoPeer, PeerWorld: NoPeer, Root: -1})
 	body(r)
+	r.SetCallSite(rankMainSite)
 	r.Finalize()
 }
 
@@ -187,6 +211,9 @@ func prepare(n *int, model **netmodel.Model, opts []Option) (*config, error) {
 			return nil, fmt.Errorf("mpi: run cancelled: %w", err)
 		}
 	}
+	if cfg.graph != nil && (cfg.goroutineRT || cfg.refColl) {
+		return nil, fmt.Errorf("mpi: WithCausalProfile requires the event engine (drop WithGoroutineRuntime/WithReferenceCollectives)")
+	}
 	return cfg, nil
 }
 
@@ -197,6 +224,9 @@ func newWorld(n int, model *netmodel.Model, cfg *config) (*World, []Rank) {
 		stop: newRunStop()}
 	if !cfg.goroutineRT && !cfg.refColl {
 		w.sched = newEventLoop(n, w.stop)
+	}
+	if w.prof = cfg.graph; w.prof != nil {
+		w.prof.arm(n)
 	}
 
 	// World-sized state is carved from a handful of backing arrays rather
@@ -381,7 +411,11 @@ func runEvent(w *World, cfg *config, ranks []Rank, body func(*Rank)) (*Result, e
 	if deadlocked {
 		return nil, fmt.Errorf("mpi: deadlock detected: every live rank is blocked and no event is pending")
 	}
-	return collectResult(ranks), nil
+	res := collectResult(ranks)
+	if w.prof != nil {
+		w.prof.finish(res)
+	}
+	return res, nil
 }
 
 // awaitQuiesce waits for a poisoned event-engine world to finish unwinding.

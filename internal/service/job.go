@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // Job states. A job moves queued → running → one of done/failed/canceled;
@@ -29,6 +30,12 @@ type Job struct {
 	res    *Result
 	done   chan struct{} // closed on any terminal state
 	cancel context.CancelFunc
+
+	// submitted and started time the job's lifecycle for the structured
+	// completion log: queue wait is started-submitted, run duration is
+	// terminal-started.
+	submitted time.Time
+	started   time.Time
 }
 
 // JobStatus is the wire view of a Job.
@@ -46,7 +53,28 @@ type JobStatus struct {
 
 func newJob(id string, req *Request) *Job {
 	return &Job{id: id, key: req.Key(), req: req, state: StateQueued,
-		done: make(chan struct{})}
+		done: make(chan struct{}), submitted: time.Now()}
+}
+
+// queueWait returns how long the job sat queued before a worker picked it
+// up; zero until then (and for cache-served jobs, which never queue).
+func (j *Job) queueWait() time.Duration {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.started.IsZero() {
+		return 0
+	}
+	return j.started.Sub(j.submitted)
+}
+
+// runDuration returns how long the job has been (or was) running.
+func (j *Job) runDuration() time.Duration {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.started.IsZero() {
+		return 0
+	}
+	return time.Since(j.started)
 }
 
 // Status snapshots the job for serving.
@@ -87,6 +115,7 @@ func (j *Job) setRunning() {
 	defer j.mu.Unlock()
 	if j.state == StateQueued {
 		j.state = StateRunning
+		j.started = time.Now()
 	}
 }
 

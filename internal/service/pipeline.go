@@ -8,6 +8,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/conceptual"
 	"repro/internal/core"
+	"repro/internal/critpath"
 	"repro/internal/harness"
 	"repro/internal/mpi"
 	"repro/internal/mpip"
@@ -112,8 +113,13 @@ func runStages(ctx context.Context, req *Request, progress func(string)) (*Resul
 	progress(StagePredict)
 	endPredict := telemetry.Region(StagePredict)
 	prof := mpip.NewProfile()
+	// The causal profiler rides along on every prediction: the dependency
+	// graph is bounded, observation-only, and lets /v1/jobs/{id}/profile
+	// answer what dominated the predicted virtual time.
+	graph := mpi.NewDepGraph()
 	run, err := conceptual.Execute(prog, tr.N, model,
 		conceptual.WithMPIOptions(mpi.WithTracer(prof.TracerFor), mpi.WithContext(ctx),
+			mpi.WithCausalProfile(graph),
 			// Job bodies share the harness world pool: a daemon serving repeated
 			// requests at the same rank count pays world setup once, not per job.
 			mpi.WithEngine(harness.SharedEngine())))
@@ -134,6 +140,7 @@ func runStages(ctx context.Context, req *Request, progress func(string)) (*Resul
 		PerRankUS:   run.PerTaskUS,
 		ElapsedUS:   run.ElapsedUS,
 		Profile:     prof.String(),
+		CritPath:    critpath.Analyze(graph),
 		TraceEvents: tr.TotalEvents(),
 		TraceNodes:  tr.NodeCount(),
 	}, nil

@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"repro/internal/apps"
+	"repro/internal/critpath"
 	"repro/internal/netmodel"
 	"repro/internal/trace"
 )
@@ -180,6 +181,10 @@ type Result struct {
 	// Profile is the mpiP-style per-operation profile of the generated
 	// benchmark's execution.
 	Profile string `json:"profile"`
+	// CritPath is the causal critical-path and wait-state profile of the
+	// predicting run (nil on results cached before the profiler existed);
+	// served on its own at GET /v1/jobs/{id}/profile.
+	CritPath *critpath.Profile `json:"critpath,omitempty"`
 	// TraceEvents and TraceNodes summarize the (compressed) input trace.
 	TraceEvents int `json:"trace_events"`
 	TraceNodes  int `json:"trace_nodes"`

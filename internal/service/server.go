@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync"
@@ -50,6 +52,11 @@ type Config struct {
 	JobTimeout time.Duration
 	// RetryAfter is the backoff hint attached to 429 responses (default 1s).
 	RetryAfter time.Duration
+	// Logger receives one structured line per job lifecycle transition
+	// (submitted, running, done/failed/canceled) carrying the job id, the
+	// canonical request hash, cache hit/miss, queue wait and run duration.
+	// Nil discards the log (tests); benchd passes a JSON handler.
+	Logger *slog.Logger
 }
 
 // Server is the benchd daemon: HTTP handlers over a bounded job pool and a
@@ -59,6 +66,7 @@ type Server struct {
 	mux   *http.ServeMux
 	pool  *harness.Pool
 	cache *cache
+	log   *slog.Logger
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
@@ -101,11 +109,15 @@ func NewServer(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:        cfg,
 		pool:       harness.NewPool(cfg.Workers, cfg.QueueDepth),
 		cache:      c,
+		log:        cfg.Logger,
 		jobs:       make(map[string]*Job),
 		baseCtx:    ctx,
 		baseCancel: cancel,
@@ -124,6 +136,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/source", s.handleSource)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/profile", s.handleProfile)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("POST /v1/generate", s.handleGenerate)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -149,6 +162,10 @@ func (s *Server) start(req *Request) (*Job, int, error) {
 		job := s.register(req)
 		job.finishCached(res, tier)
 		ctrJobsCached.Inc()
+		s.log.Info("job done", "job", job.id, "key", key,
+			"app", req.App, "n", req.N, "lang", req.Lang,
+			"state", StateDone, "cache", tier,
+			"queue_wait_ms", 0.0, "run_ms", 0.0)
 		return job, http.StatusOK, nil
 	}
 
@@ -184,10 +201,14 @@ func (s *Server) start(req *Request) (*Job, int, error) {
 		defer func() {
 			if r := recover(); r != nil {
 				job.finish(nil, fmt.Errorf("job panicked: %v", r), false)
+				s.logTerminal(job)
 				panic(r) // re-panic so the pool still counts and logs it
 			}
 		}()
 		job.setRunning()
+		s.log.Info("job running", "job", job.id, "key", key,
+			"state", StateRunning, "cache", "miss",
+			"queue_wait_ms", durMS(job.queueWait()))
 		rctx, rcancel := context.WithTimeout(ctx, s.cfg.JobTimeout)
 		defer rcancel()
 		res, err := runPipelineFn(rctx, req, job.setStage)
@@ -197,6 +218,7 @@ func (s *Server) start(req *Request) (*Job, int, error) {
 			_ = s.cache.put(key, res)
 		}
 		job.finish(res, err, errors.Is(err, context.Canceled))
+		s.logTerminal(job)
 	})
 	if err != nil {
 		cancel()
@@ -208,7 +230,30 @@ func (s *Server) start(req *Request) (*Job, int, error) {
 		return nil, http.StatusServiceUnavailable, err
 	}
 	ctrJobsSubmitted.Inc()
+	s.log.Info("job submitted", "job", job.id, "key", key,
+		"app", req.App, "n", req.N, "lang", req.Lang, "state", StateQueued,
+		"cache", "miss")
 	return job, http.StatusAccepted, nil
+}
+
+// durMS rounds a duration to fractional milliseconds for the job log.
+func durMS(d time.Duration) float64 {
+	return float64(d.Round(10*time.Microsecond)) / float64(time.Millisecond)
+}
+
+// logTerminal emits the one completion line every job gets when it reaches
+// done/failed/canceled off the worker path.
+func (s *Server) logTerminal(job *Job) {
+	st := job.Status()
+	attrs := []any{"job", st.ID, "key", st.Key,
+		"app", st.App, "n", st.N, "lang", st.Lang,
+		"state", st.State, "cache", "miss",
+		"queue_wait_ms", durMS(job.queueWait()),
+		"run_ms", durMS(job.runDuration())}
+	if st.Error != "" {
+		attrs = append(attrs, "error", st.Error)
+	}
+	s.log.Info("job "+st.State, attrs...)
 }
 
 func (s *Server) register(req *Request) *Job {
@@ -366,6 +411,27 @@ func (s *Server) handleSource(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprint(w, res.Source)
 }
 
+// handleProfile serves the job's causal critical-path and wait-state
+// profile. Results cached by versions that predate the profiler have no
+// profile; that is a 404, not an error.
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	job := s.job(r.PathValue("id"))
+	if job == nil {
+		http.Error(w, "no such job", http.StatusNotFound)
+		return
+	}
+	if job.Status().State != StateDone {
+		http.Error(w, "job not done", http.StatusConflict)
+		return
+	}
+	res, _ := job.Outcome()
+	if res == nil || res.CritPath == nil {
+		http.Error(w, "no profile recorded for this job", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, res.CritPath)
+}
+
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	job := s.job(r.PathValue("id"))
 	if job == nil {
@@ -387,14 +453,9 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	gaugeQueueDepth.Set(int64(s.pool.QueueLen()))
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(telemetry.Default.Snapshot()); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-	}
+	telemetry.ServeMetricsHTTP(w, r, telemetry.Default)
 }
 
 func (s *Server) handleTimeline(w http.ResponseWriter, _ *http.Request) {

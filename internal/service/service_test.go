@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -482,5 +483,81 @@ func TestObservabilityEndpoints(t *testing.T) {
 	}
 	if code, body := get("/v1/jobs"); code != 200 || !strings.Contains(body, st.ID) {
 		t.Fatalf("/v1/jobs: %d\n%s", code, body)
+	}
+}
+
+// TestProfileEndpointAndPromMetrics: every served prediction carries its
+// causal critical-path profile, and /metrics negotiates Prometheus text.
+func TestProfileEndpointAndPromMetrics(t *testing.T) {
+	srv, cl := newTestServer(t, Config{Workers: 1, QueueDepth: 2})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	st, err := cl.Submit(context.Background(), &Request{App: "pingpong", N: 2, Class: "S"})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	res, err := cl.Wait(context.Background(), st.ID)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if res.CritPath == nil {
+		t.Fatal("Result.CritPath not populated by the pipeline")
+	}
+	if math.Abs(res.CritPath.CritPathUS-res.ElapsedUS) > 1e-6*res.ElapsedUS {
+		t.Fatalf("critical path %.3f != elapsed %.3f", res.CritPath.CritPathUS, res.ElapsedUS)
+	}
+
+	get := func(path, accept string) (*http.Response, string) {
+		t.Helper()
+		req, _ := http.NewRequest("GET", hs.URL+path, nil)
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return resp, buf.String()
+	}
+
+	resp, body := get("/v1/jobs/"+st.ID+"/profile", "")
+	if resp.StatusCode != 200 || !strings.Contains(body, `"crit_path_us"`) {
+		t.Fatalf("/profile: %d\n%s", resp.StatusCode, body)
+	}
+	if resp, _ := get("/v1/jobs/nope/profile", ""); resp.StatusCode != 404 {
+		t.Fatalf("/profile for unknown job: %d, want 404", resp.StatusCode)
+	}
+
+	// A terminal job whose cached Result predates the profiler serves 404,
+	// not a null document.
+	old := newJob("old", &Request{App: "pingpong", N: 2, Class: "S", Lang: "conceptual"})
+	old.finishCached(&Result{Key: "k"}, "disk")
+	srv.mu.Lock()
+	srv.jobs["old"] = old
+	srv.mu.Unlock()
+	if resp, _ := get("/v1/jobs/old/profile", ""); resp.StatusCode != 404 {
+		t.Fatalf("/profile without CritPath: %d, want 404", resp.StatusCode)
+	}
+
+	resp, body = get("/metrics?format=prom", "")
+	if resp.StatusCode != 200 || !strings.Contains(body, "# TYPE") {
+		t.Fatalf("/metrics?format=prom: %d\n%s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("prom content type: %q", ct)
+	}
+	if !strings.Contains(body, `quantile="0.99"`) {
+		t.Fatalf("prom exposition missing quantiles:\n%s", body)
+	}
+	if resp, body := get("/metrics", "application/openmetrics-text"); resp.StatusCode != 200 ||
+		!strings.Contains(body, "# TYPE") {
+		t.Fatalf("Accept-negotiated prom: %d\n%s", resp.StatusCode, body)
+	}
+	if resp, body := get("/metrics", ""); resp.StatusCode != 200 || !strings.HasPrefix(strings.TrimSpace(body), "{") {
+		t.Fatalf("default /metrics no longer JSON: %d\n%s", resp.StatusCode, body)
 	}
 }

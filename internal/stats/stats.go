@@ -88,6 +88,44 @@ func (h *Histogram) Mean() float64 {
 // Empty reports whether no samples have been recorded.
 func (h *Histogram) Empty() bool { return h.Count == 0 }
 
+// Quantile estimates the q-th quantile (0 <= q <= 1) of the recorded
+// distribution from the log-scale bins: it finds the bin where the
+// cumulative count crosses q*Count and interpolates linearly within the
+// bin's value range. The estimate is clamped to the exact [Min, Max]
+// envelope, so q=0 and q=1 are exact and single-bin distributions never
+// report values outside what was observed.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min
+	}
+	if q >= 1 {
+		return h.Max
+	}
+	target := q * float64(h.Count)
+	var cum float64
+	for i, c := range h.Bins {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next >= target {
+			// Bin i spans [2^(i-1), 2^i); bin 0 spans [0, 1).
+			lo, hi := 0.0, 1.0
+			if i > 0 {
+				lo = math.Pow(2, float64(i-1))
+				hi = 2 * lo
+			}
+			v := lo + (hi-lo)*(target-cum)/float64(c)
+			return math.Min(math.Max(v, h.Min), h.Max)
+		}
+		cum = next
+	}
+	return h.Max
+}
+
 // Clone returns a deep copy of h.
 func (h *Histogram) Clone() *Histogram {
 	c := *h

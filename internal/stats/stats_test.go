@@ -274,3 +274,46 @@ func TestPercentileProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram()
+	if h.Quantile(0.5) != 0 {
+		t.Fatalf("empty quantile = %v, want 0", h.Quantile(0.5))
+	}
+	// A single sample: every quantile collapses onto it.
+	h.Add(7)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 7 {
+			t.Fatalf("Quantile(%v) = %v, want 7", q, got)
+		}
+	}
+
+	// Uniform samples across several bins: quantiles must be monotone in q,
+	// bounded by [Min, Max], and the extremes exact.
+	h = NewHistogram()
+	for v := 1.0; v <= 1024; v++ {
+		h.Add(v)
+	}
+	if got := h.Quantile(0); got != h.Min {
+		t.Fatalf("Quantile(0) = %v, want Min %v", got, h.Min)
+	}
+	if got := h.Quantile(1); got != h.Max {
+		t.Fatalf("Quantile(1) = %v, want Max %v", got, h.Max)
+	}
+	prev := 0.0
+	for q := 0.05; q < 1; q += 0.05 {
+		got := h.Quantile(q)
+		if got < prev {
+			t.Fatalf("Quantile not monotone: q=%v gives %v after %v", q, got, prev)
+		}
+		if got < h.Min || got > h.Max {
+			t.Fatalf("Quantile(%v) = %v outside [%v, %v]", q, got, h.Min, h.Max)
+		}
+		prev = got
+	}
+	// The median of 1..1024 lies in the bin holding 512; log-scale bins only
+	// localize to a power-of-two range, so allow that bin's width.
+	if med := h.Quantile(0.5); med < 256 || med > 1024 {
+		t.Fatalf("median = %v, want within [256, 1024]", med)
+	}
+}

@@ -1,0 +1,123 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// promName sanitizes a metric name into the Prometheus exposition alphabet
+// [a-zA-Z_:][a-zA-Z0-9_:]*; the registry's dotted names ("mpi.world_reuse")
+// become underscore-separated ("mpi_world_reuse").
+func promName(name string) string {
+	var sb strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			sb.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+// WriteProm renders the snapshot in the Prometheus/OpenMetrics text
+// exposition format: counters and gauges as-is, histograms and region
+// timings as summaries with p50/p95/p99 quantile series plus _sum and
+// _count. Metric families are emitted in sorted order so scrapes are
+// deterministic for deterministic workloads.
+func (s *Snapshot) WriteProm(w io.Writer) error {
+	var b strings.Builder
+
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := promName(n)
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[n])
+	}
+
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := promName(n)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %d\n", pn, pn, s.Gauges[n])
+	}
+
+	summary := func(pn string, count uint64, sum, p50, p95, p99 float64) {
+		fmt.Fprintf(&b, "# TYPE %s summary\n", pn)
+		fmt.Fprintf(&b, "%s{quantile=\"0.5\"} %g\n", pn, p50)
+		fmt.Fprintf(&b, "%s{quantile=\"0.95\"} %g\n", pn, p95)
+		fmt.Fprintf(&b, "%s{quantile=\"0.99\"} %g\n", pn, p99)
+		fmt.Fprintf(&b, "%s_sum %g\n", pn, sum)
+		fmt.Fprintf(&b, "%s_count %d\n", pn, count)
+	}
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := s.Histograms[n]
+		summary(promName(n), h.Count, h.Mean*float64(h.Count), h.P50, h.P95, h.P99)
+	}
+	names = names[:0]
+	for n := range s.Regions {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		r := s.Regions[n]
+		summary(promName("region."+n+".us"), r.Count, r.TotalUS, r.P50US, r.P95US, r.P99US)
+	}
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// wantsProm reports whether the request asked for the text exposition
+// format, either explicitly (?format=prom) or via Accept negotiation
+// (OpenMetrics or plain text, the content types Prometheus scrapers send).
+func wantsProm(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prom", "prometheus", "openmetrics":
+		return true
+	case "json":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "application/openmetrics-text") ||
+		strings.Contains(accept, "text/plain")
+}
+
+// ServeMetricsHTTP writes reg's snapshot in the format the request asks
+// for: Prometheus text exposition under ?format=prom or Accept negotiation,
+// indented JSON otherwise. Shared by telemetry.Serve's /metrics and
+// benchd's.
+func ServeMetricsHTTP(w http.ResponseWriter, r *http.Request, reg *Registry) {
+	snap := reg.Snapshot()
+	if wantsProm(r) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := snap.WriteProm(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -22,6 +22,11 @@ var regionTL atomic.Pointer[Timeline]
 // track never collide in one timeline.
 const RegionTrack = 1 << 20
 
+// CritPathTrack is the timeline track ID the critical-path overlay
+// (internal/critpath) paints its virtual-time segments on, distinct from
+// both rank tracks and the pipeline-stage track.
+const CritPathTrack = 1 << 21
+
 // CaptureRegions routes every completed region into tl as a wall-clock span
 // on RegionTrack (pass nil to stop). Used by commands whose -timeline output
 // is pipeline stages rather than a simulated run's virtual time.

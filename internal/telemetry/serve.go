@@ -1,7 +1,7 @@
 package telemetry
 
 import (
-	"encoding/json"
+	"context"
 	"fmt"
 	"net"
 	"net/http"
@@ -18,7 +18,9 @@ type Server struct {
 // Serve starts an HTTP listener on addr (e.g. ":8080" or "127.0.0.1:0")
 // exposing:
 //
-//	/metrics        expvar-style JSON snapshot of the default registry
+//	/metrics        snapshot of the default registry — JSON by default,
+//	                Prometheus/OpenMetrics text under ?format=prom or
+//	                Accept negotiation
 //	/healthz        liveness probe
 //	/debug/pprof/   the standard net/http/pprof handlers
 //
@@ -27,13 +29,8 @@ type Server struct {
 // watch pipeline counters and grab CPU/heap profiles mid-flight.
 func Serve(addr string) (*Server, error) {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(Default.Snapshot()); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		ServeMetricsHTTP(w, r, Default)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -56,5 +53,10 @@ func Serve(addr string) (*Server, error) {
 // Addr returns the listener's resolved address (useful with ":0").
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the listener.
+// Close stops the listener immediately, aborting in-flight requests.
 func (s *Server) Close() error { return s.srv.Close() }
+
+// Shutdown stops accepting connections and waits for in-flight requests
+// (a scrape, a pprof download) to finish, up to ctx's deadline — the
+// graceful counterpart of Close that daemons tie to their drain window.
+func (s *Server) Shutdown(ctx context.Context) error { return s.srv.Shutdown(ctx) }

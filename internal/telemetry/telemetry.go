@@ -234,20 +234,29 @@ func NewGauge(name string) *Gauge { return Default.Gauge(name) }
 func NewHistogram(name string) *Histogram { return Default.Histogram(name) }
 
 // RegionStats summarizes one region's timing distribution in a snapshot.
+// The quantiles are estimated from the log-scale bins (linear interpolation
+// within the crossing bin, clamped to the exact min/max envelope).
 type RegionStats struct {
 	Count   uint64  `json:"count"`
 	TotalUS float64 `json:"total_us"`
 	MeanUS  float64 `json:"mean_us"`
 	MinUS   float64 `json:"min_us"`
 	MaxUS   float64 `json:"max_us"`
+	P50US   float64 `json:"p50_us"`
+	P95US   float64 `json:"p95_us"`
+	P99US   float64 `json:"p99_us"`
 }
 
-// HistStats summarizes one user histogram in a snapshot.
+// HistStats summarizes one user histogram in a snapshot, quantiles included
+// (same bin-interpolated estimate as RegionStats).
 type HistStats struct {
 	Count uint64  `json:"count"`
 	Mean  float64 `json:"mean"`
 	Min   float64 `json:"min"`
 	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
 }
 
 // Snapshot is a point-in-time copy of a registry's metrics plus the global
@@ -298,7 +307,10 @@ func (r *Registry) Snapshot() *Snapshot {
 		if d.Count == 0 {
 			continue
 		}
-		s.Histograms[h.name] = HistStats{Count: d.Count, Mean: d.Mean(), Min: d.Min, Max: d.Max}
+		s.Histograms[h.name] = HistStats{
+			Count: d.Count, Mean: d.Mean(), Min: d.Min, Max: d.Max,
+			P50: d.Quantile(0.50), P95: d.Quantile(0.95), P99: d.Quantile(0.99),
+		}
 	}
 	for _, h := range regions {
 		d := h.Stats()
@@ -307,6 +319,7 @@ func (r *Registry) Snapshot() *Snapshot {
 		}
 		s.Regions[h.name] = RegionStats{
 			Count: d.Count, TotalUS: d.Sum, MeanUS: d.Mean(), MinUS: d.Min, MaxUS: d.Max,
+			P50US: d.Quantile(0.50), P95US: d.Quantile(0.95), P99US: d.Quantile(0.99),
 		}
 	}
 	if r == Default {
@@ -347,11 +360,13 @@ func (s *Snapshot) WriteSummary(w io.Writer) {
 			rnames = append(rnames, n)
 		}
 		sort.Strings(rnames)
-		fmt.Fprintf(w, "%-28s %7s %12s %12s %12s\n", "region", "calls", "total", "mean", "max")
+		fmt.Fprintf(w, "%-28s %7s %12s %12s %12s %12s %12s %12s\n",
+			"region", "calls", "total", "mean", "p50", "p95", "p99", "max")
 		for _, n := range rnames {
 			r := s.Regions[n]
-			fmt.Fprintf(w, "%-28s %7d %12s %12s %12s\n",
-				n, r.Count, fmtUS(r.TotalUS), fmtUS(r.MeanUS), fmtUS(r.MaxUS))
+			fmt.Fprintf(w, "%-28s %7d %12s %12s %12s %12s %12s %12s\n",
+				n, r.Count, fmtUS(r.TotalUS), fmtUS(r.MeanUS),
+				fmtUS(r.P50US), fmtUS(r.P95US), fmtUS(r.P99US), fmtUS(r.MaxUS))
 		}
 	}
 	for _, ev := range s.Events {

@@ -275,3 +275,66 @@ func TestServeEndpoints(t *testing.T) {
 		t.Error("/debug/pprof/ index missing")
 	}
 }
+
+func TestWritePromExposition(t *testing.T) {
+	withTelemetry(t)
+	NewCounter("test.prom_hits").Add(3)
+	NewGauge("test.prom-depth").Set(5)
+	h := NewHistogram("test.prom_sizes")
+	for _, v := range []float64{1, 2, 4, 8, 100} {
+		h.Observe(v)
+	}
+	end := Region("test.prom stage")
+	end()
+
+	var buf bytes.Buffer
+	if err := Default.Snapshot().WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE test_prom_hits counter",
+		"test_prom_hits 3",
+		"# TYPE test_prom_depth gauge",
+		"test_prom_depth 5",
+		"# TYPE test_prom_sizes summary",
+		`test_prom_sizes{quantile="0.5"}`,
+		`test_prom_sizes{quantile="0.99"}`,
+		"test_prom_sizes_count 5",
+		"# TYPE region_test_prom_stage_us summary",
+		"region_test_prom_stage_us_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prom exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Exposition names must stay inside the Prometheus grammar.
+	for _, line := range strings.Split(out, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, _, _ := strings.Cut(line, "{")
+		name, _, _ = strings.Cut(name, " ")
+		for _, r := range name {
+			if !(r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')) {
+				t.Fatalf("invalid prom name char %q in line %q", r, line)
+			}
+		}
+	}
+}
+
+func TestSnapshotQuantiles(t *testing.T) {
+	withTelemetry(t)
+	h := NewHistogram("test.quant")
+	for v := 1.0; v <= 100; v++ {
+		h.Observe(v)
+	}
+	snap := Default.Snapshot()
+	hs, ok := snap.Histograms["test.quant"]
+	if !ok {
+		t.Fatal("histogram missing from snapshot")
+	}
+	if hs.P50 <= 0 || hs.P50 > hs.P95 || hs.P95 > hs.P99 || hs.P99 > hs.Max {
+		t.Fatalf("quantiles not ordered: p50=%v p95=%v p99=%v max=%v", hs.P50, hs.P95, hs.P99, hs.Max)
+	}
+}

@@ -132,8 +132,11 @@ func (tl *Timeline) WriteChrome(w io.Writer) error {
 	}
 	for _, tk := range tracks {
 		cat := "mpi"
-		if tk.id == RegionTrack {
+		switch tk.id {
+		case RegionTrack:
 			cat = "pipeline"
+		case CritPathTrack:
+			cat = "critpath"
 		}
 		for _, sp := range tk.Spans() {
 			c := cat
