@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: test check bench bench6 bench7 bench8 bench-all race timeline serve
+.PHONY: test check bench bench6 bench7 bench8 bench9 bench-all race timeline serve
 
 test:
 	$(GO) test ./...
@@ -17,7 +17,7 @@ test:
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/trace/... ./internal/mpi/... ./internal/conceptual/... ./internal/harness/... ./internal/telemetry/... ./internal/service/... ./internal/critpath/...
-	$(GO) test -race -run 'TestEventEngineMatchesGoroutineRuntime|TestRunToRunDeterminism|TestCritPath' .
+	$(GO) test -race -run 'TestEventEngineMatchesGoroutineRuntime|TestRunToRunDeterminism|TestCritPath|TestRunPoolConcurrentDeterminism' .
 	$(GO) test -race -short -run 'TestReplayRepresentationsBitIdentical|TestPooledWorldDeterminism|TestPooledReplayDeterminism' .
 	$(GO) test -run NONE -fuzz FuzzDecode -fuzztime 10s ./internal/trace/
 
@@ -70,6 +70,21 @@ bench8:
 		-benchtime 60x -benchmem . | tee /dev/stderr | \
 		$(GO) run ./cmd/benchjson -merge BENCH_8.json > BENCH_8.json.tmp
 	mv BENCH_8.json.tmp BENCH_8.json
+
+# bench9 refreshes BENCH_9.json, the multi-P throughput baseline: aggregate
+# worlds/sec when mixed-size worlds are driven through the work-stealing run
+# pool, measured at GOMAXPROCS 1, 2, 4 and 8 (benchjson's pool_speedups
+# section derives the kP-vs-1P scaling from the series — flat on a
+# single-core host, >=3x at 8P on real multicore hardware), plus the
+# per-rank cost of the three coNCePTuaL execution representations (the
+# cursor_speedups section records the coroutine-to-cursor ratio).
+bench9:
+	$(GO) test -run NONE -bench BenchmarkMultiWorld -benchtime 20x -cpu 1,2,4,8 -benchmem -timeout 60m . \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson -series -merge BENCH_9.json > BENCH_9.json.tmp
+	mv BENCH_9.json.tmp BENCH_9.json
+	$(GO) test -run NONE -bench BenchmarkConceptualRepr -benchtime 20x -benchmem . \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson -series -merge BENCH_9.json > BENCH_9.json.tmp
+	mv BENCH_9.json.tmp BENCH_9.json
 
 # bench-all runs the full evaluation-reproduction suite without touching the
 # recorded baseline.

@@ -20,7 +20,11 @@
 // the curve and the engine comparison are first-class data instead of a
 // flat key soup. In series mode the GOMAXPROCS suffix is kept as part of
 // the post_change key, since the same benchmark measured at different -cpu
-// values is different data.
+// values is different data. Two further derived sections: "pool_speedups"
+// records, per (variant, size), the 1P-to-kP ns/op ratio wherever the same
+// point was measured at GOMAXPROCS 1 and k (the BENCH_9.json multi-world
+// scaling evidence), and "cursor_speedups" the coroutine-to-cursor ratio
+// wherever both coNCePTuaL representations were measured at a size.
 package main
 
 import (
@@ -190,6 +194,12 @@ func main() {
 		}
 		setJSON(doc, "series", fams)
 		setJSON(doc, "engine_speedups", engineSpeedups(fams))
+		if sp := poolSpeedups(fams); len(sp) > 0 {
+			setJSON(doc, "pool_speedups", sp)
+		}
+		if sp := variantSpeedups(fams, "cursor", "coroutine"); len(sp) > 0 {
+			setJSON(doc, "cursor_speedups", sp)
+		}
 	}
 	setJSON(doc, "date", time.Now().UTC().Format("2006-01-02"))
 	setJSON(doc, "go", runtime.Version()+" "+runtime.GOOS+"/"+runtime.GOARCH)
@@ -216,6 +226,53 @@ func engineSpeedups(fams map[string][]seriesPoint) map[string]float64 {
 			for _, q := range pts {
 				if q.Variant == "goroutine"+rest && q.Nprocs == p.Nprocs &&
 					q.Gomaxprocs == p.Gomaxprocs && p.NsPerOp > 0 {
+					key := fmt.Sprintf("%s%s-%dranks-%dP", fam, rest, p.Nprocs, p.Gomaxprocs)
+					out[key] = math.Round(q.NsPerOp/p.NsPerOp*100) / 100
+				}
+			}
+		}
+	}
+	return out
+}
+
+// poolSpeedups derives the cross-GOMAXPROCS scaling table from the merged
+// series: for every (family, variant, size) measured at GOMAXPROCS > 1 where
+// the same point exists at GOMAXPROCS 1, it records 1P ns/op divided by kP
+// ns/op — >1 means adding Ps raised aggregate throughput. This is the
+// BENCH_9.json multi-world saturation evidence (run with -cpu 1,2,4,8).
+func poolSpeedups(fams map[string][]seriesPoint) map[string]float64 {
+	out := map[string]float64{}
+	for fam, pts := range fams {
+		for _, p := range pts {
+			if p.Gomaxprocs <= 1 || p.NsPerOp <= 0 {
+				continue
+			}
+			for _, base := range pts {
+				if base.Variant == p.Variant && base.Nprocs == p.Nprocs && base.Gomaxprocs == 1 {
+					key := fmt.Sprintf("%s/%s-%dranks-%dPvs1P", fam, p.Variant, p.Nprocs, p.Gomaxprocs)
+					out[key] = math.Round(base.NsPerOp/p.NsPerOp*100) / 100
+				}
+			}
+		}
+	}
+	return out
+}
+
+// variantSpeedups records, wherever a <base>… and an <other>… variant were
+// measured at the same size and GOMAXPROCS, other ns/op divided by base
+// ns/op — >1 means the base variant is faster. With ("cursor", "coroutine")
+// it is the per-representation cost comparison of the coNCePTuaL execution
+// paths in BENCH_9.json.
+func variantSpeedups(fams map[string][]seriesPoint, base, other string) map[string]float64 {
+	out := map[string]float64{}
+	for fam, pts := range fams {
+		for _, p := range pts {
+			rest, ok := strings.CutPrefix(p.Variant, base)
+			if !ok || p.NsPerOp <= 0 {
+				continue
+			}
+			for _, q := range pts {
+				if q.Variant == other+rest && q.Nprocs == p.Nprocs && q.Gomaxprocs == p.Gomaxprocs {
 					key := fmt.Sprintf("%s%s-%dranks-%dP", fam, rest, p.Nprocs, p.Gomaxprocs)
 					out[key] = math.Round(q.NsPerOp/p.NsPerOp*100) / 100
 				}

@@ -33,12 +33,20 @@ func main() {
 		modelName = flag.String("model", "bluegene", "platform model (bluegene, ethernet, ideal)")
 		profile   = flag.Bool("profile", false, "print the mpiP-style profile")
 		critFlag  = flag.Bool("critpath", false, "print the critical-path & wait-state profile")
+		rtName    = flag.String("runtime", "event", "simulation runtime (event, goroutine)")
 		scale     = flag.Float64("scale-compute", 1.0, "multiply all COMPUTE durations (what-if studies)")
 	)
 	tcli := telemetry.NewCLI()
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fatal(fmt.Errorf("usage: ncrun [flags] prog.ncptl"))
+	}
+	// Validate the runtime choice (and its critpath interaction) before any
+	// parsing or setup, so a bad flag combination fails in one line here
+	// rather than deep inside run preparation.
+	rtOpts, err := mpi.RuntimeOptions(*rtName, *critFlag)
+	if err != nil {
+		fatal(err)
 	}
 	if err := tcli.Start(); err != nil {
 		fatal(err)
@@ -75,7 +83,7 @@ func main() {
 			return mpi.MultiTracer{prof.TracerFor(rank), timeline(rank)}
 		}
 	}
-	mpiOpts := []mpi.Option{mpi.WithTracer(tracers)}
+	mpiOpts := append([]mpi.Option{mpi.WithTracer(tracers)}, rtOpts...)
 	var graph *mpi.DepGraph
 	if *critFlag {
 		graph = mpi.NewDepGraph()

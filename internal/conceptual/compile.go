@@ -37,12 +37,13 @@ const worldRef commRef = -1
 
 type compiler struct {
 	n       int
-	planIdx map[string]int // task-group key -> plan position
+	planIdx map[string]int    // task-group key -> plan position
+	sites   map[Stmt]siteInfo // deterministic call sites to stamp per statement
 }
 
-func compileProgram(p *Program, n int, plans []commPlan) *compiledProgram {
+func compileProgram(p *Program, n int, plans []commPlan, sites map[Stmt]siteInfo) *compiledProgram {
 	defer telemetry.Region("conceptual.compile")()
-	c := &compiler{n: n, planIdx: make(map[string]int, len(plans))}
+	c := &compiler{n: n, planIdx: make(map[string]int, len(plans)), sites: sites}
 	for i, pl := range plans {
 		c.planIdx[pl.key] = i
 	}
@@ -145,46 +146,52 @@ func (c *compiler) compileStmt(s Stmt) compiledStep {
 			}
 		}
 	case *SendStmt:
-		members, dst, size := c.members(x.Who), c.peers(x.Dest), x.Size
+		members, dst, size, site := c.members(x.Who), c.peers(x.Dest), x.Size, c.sites[x].pri
 		if x.Async {
 			return func(st *taskState) {
 				if members[st.me] {
+					st.rank.SetCallSite(site)
 					st.outstanding = append(st.outstanding, st.rank.Isend(st.world, dst[st.me], 0, size))
 				}
 			}
 		}
 		return func(st *taskState) {
 			if members[st.me] {
+				st.rank.SetCallSite(site)
 				st.rank.Send(st.world, dst[st.me], 0, size)
 			}
 		}
 	case *RecvStmt:
-		members, src, size := c.members(x.Who), c.peers(x.Source), x.Size
+		members, src, size, site := c.members(x.Who), c.peers(x.Source), x.Size, c.sites[x].pri
 		if x.Async {
 			return func(st *taskState) {
 				if members[st.me] {
+					st.rank.SetCallSite(site)
 					st.outstanding = append(st.outstanding, st.rank.Irecv(st.world, src[st.me], 0, size))
 				}
 			}
 		}
 		return func(st *taskState) {
 			if members[st.me] {
+				st.rank.SetCallSite(site)
 				st.rank.Recv(st.world, src[st.me], 0, size)
 			}
 		}
 	case *AwaitStmt:
-		members := c.members(x.Who)
+		members, site := c.members(x.Who), c.sites[x].pri
 		return func(st *taskState) {
 			if members[st.me] && len(st.outstanding) > 0 {
+				st.rank.SetCallSite(site)
 				st.rank.Waitall(st.outstanding...)
 				st.outstanding = st.outstanding[:0]
 			}
 		}
 	case *SyncStmt:
-		members := c.members(x.Who)
+		members, site := c.members(x.Who), c.sites[x].pri
 		ref, _ := c.commRefFor(x.Who.Set(c.n))
 		return func(st *taskState) {
 			if members[st.me] {
+				st.rank.SetCallSite(site)
 				st.rank.Barrier(st.commAt(ref))
 			}
 		}
@@ -230,11 +237,12 @@ func (c *compiler) compileReduce(x *ReduceStmt) compiledStep {
 	srcs, dsts := x.Srcs.Set(c.n), x.Dsts.Set(c.n)
 	ref, union := c.commRefFor(srcs, dsts)
 	part := c.maskOf(union)
-	size := x.Size
+	size, si := x.Size, c.sites[x]
 	switch {
 	case srcs.Equal(dsts):
 		return func(st *taskState) {
 			if part[st.me] {
+				st.rank.SetCallSite(si.pri)
 				st.rank.Allreduce(st.commAt(ref), size)
 			}
 		}
@@ -242,6 +250,7 @@ func (c *compiler) compileReduce(x *ReduceStmt) compiledStep {
 		root := rootRank(ref, union, dsts.Min())
 		return func(st *taskState) {
 			if part[st.me] {
+				st.rank.SetCallSite(si.pri)
 				st.rank.Reduce(st.commAt(ref), root, size)
 			}
 		}
@@ -250,7 +259,9 @@ func (c *compiler) compileReduce(x *ReduceStmt) compiledStep {
 		return func(st *taskState) {
 			if part[st.me] {
 				comm := st.commAt(ref)
+				st.rank.SetCallSite(si.pri)
 				st.rank.Reduce(comm, root, size)
+				st.rank.SetCallSite(si.sec)
 				st.rank.Bcast(comm, root, size)
 			}
 		}
@@ -263,17 +274,19 @@ func (c *compiler) compileMulticast(x *MulticastStmt) compiledStep {
 	srcs, dsts := x.Srcs.Set(c.n), x.Dsts.Set(c.n)
 	ref, union := c.commRefFor(srcs, dsts)
 	part := c.maskOf(union)
-	size := x.Size
+	size, site := x.Size, c.sites[x].pri
 	if srcs.Size() == 1 {
 		root := rootRank(ref, union, srcs.Min())
 		return func(st *taskState) {
 			if part[st.me] {
+				st.rank.SetCallSite(site)
 				st.rank.Bcast(st.commAt(ref), root, size)
 			}
 		}
 	}
 	return func(st *taskState) {
 		if part[st.me] {
+			st.rank.SetCallSite(site)
 			st.rank.Alltoall(st.commAt(ref), size)
 		}
 	}

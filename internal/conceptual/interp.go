@@ -32,8 +32,9 @@ type RunResult struct {
 type RunOption func(*runConfig)
 
 type runConfig struct {
-	mpiOpts  []mpi.Option
-	treeWalk bool
+	mpiOpts   []mpi.Option
+	treeWalk  bool
+	coroutine bool
 }
 
 // WithMPIOptions forwards options (tracers, timeouts) to the underlying
@@ -44,11 +45,18 @@ func WithMPIOptions(opts ...mpi.Option) RunOption {
 }
 
 // WithTreeWalk interprets the AST directly instead of running the compiled
-// closure tree. Both paths issue identical runtime calls and produce
-// bit-identical virtual clocks; the tree walker is kept as the reference for
-// differential tests.
+// program. All paths issue identical runtime calls and produce bit-identical
+// virtual clocks, traces and logs; the tree walker is kept as the reference
+// for differential tests.
 func WithTreeWalk() RunOption {
 	return func(c *runConfig) { c.treeWalk = true }
+}
+
+// WithCoroutine runs the compiled closure tree on coroutine ranks (one
+// goroutine per task) instead of the default stackless cursors. Kept as the
+// second differential reference; results are bit-identical either way.
+func WithCoroutine() RunOption {
+	return func(c *runConfig) { c.coroutine = true }
 }
 
 // Execute interprets the program on n simulated tasks over the given network
@@ -68,60 +76,79 @@ func Execute(p *Program, n int, model *netmodel.Model, opts ...RunOption) (*RunR
 	// non-world task groups. All tasks create them up front in a fixed
 	// order, as the coNCePTuaL runtime does during initialization.
 	plans := collectCommPlans(p.Stmts, n)
-
-	// Lower the program to a closure tree once; every task executes the same
-	// compiled steps. The tree walker remains available via WithTreeWalk.
-	var compiled *compiledProgram
-	if !cfg.treeWalk {
-		compiled = compileProgram(p, n, plans)
-	}
+	// Deterministic per-statement call sites, stamped identically by every
+	// execution path so traces and profiles never depend on representation.
+	sites := stmtSites(p.Stmts)
 
 	var mu sync.Mutex
 	var logs []LogEntry
 
-	body := func(r *mpi.Rank) {
-		st := &taskState{
-			rank:  r,
-			me:    r.Rank(),
-			n:     n,
-			world: r.World(),
-			mu:    &mu,
-			logs:  &logs,
+	var res *mpi.Result
+	var err error
+	if !cfg.treeWalk && !cfg.coroutine && mpi.EventEngineSelected(cfg.mpiOpts...) {
+		// Default under the event engine: lower once to the stackless cursor
+		// form and run with no per-task goroutines at all — each task is a
+		// program counter the engine advances in place.
+		cp := lowerCursor(p, n, plans, sites)
+		res, err = mpi.RunStackless(n, model, func(rank int) mpi.OpStream {
+			return &cursorStream{prog: cp, me: rank, mu: &mu, logs: &logs}
+		}, cfg.mpiOpts...)
+	} else {
+		// Reference paths on coroutine ranks: the compiled closure tree, or
+		// the direct tree walk behind WithTreeWalk.
+		var compiled *compiledProgram
+		if !cfg.treeWalk {
+			compiled = compileProgram(p, n, plans, sites)
 		}
-		if cfg.treeWalk {
-			st.comms = map[string]*mpi.Comm{}
-		} else {
-			st.planComms = make([]*mpi.Comm, len(plans))
-		}
-		for i, plan := range plans {
-			color := -1
-			if plan.set.Contains(r.Rank()) {
-				color = 0
-			}
-			sub := r.CommSplit(r.World(), color, r.Rank())
-			if sub == nil {
-				continue
+		body := func(r *mpi.Rank) {
+			st := &taskState{
+				rank:  r,
+				me:    r.Rank(),
+				n:     n,
+				world: r.World(),
+				sites: sites,
+				mu:    &mu,
+				logs:  &logs,
 			}
 			if cfg.treeWalk {
-				st.comms[plan.key] = sub
+				st.comms = map[string]*mpi.Comm{}
 			} else {
-				st.planComms[i] = sub
+				st.planComms = make([]*mpi.Comm, len(plans))
+			}
+			for i, plan := range plans {
+				color := -1
+				if plan.set.Contains(r.Rank()) {
+					color = 0
+				}
+				r.SetCallSite(planSite(i))
+				sub := r.CommSplit(r.World(), color, r.Rank())
+				if sub == nil {
+					continue
+				}
+				if cfg.treeWalk {
+					st.comms[plan.key] = sub
+				} else {
+					st.planComms[i] = sub
+				}
+			}
+			if cfg.treeWalk {
+				st.exec(p.Stmts)
+			} else {
+				for _, f := range compiled.steps {
+					f(st)
+				}
+			}
+			if len(st.outstanding) > 0 {
+				// The stackless end-of-body drain stamps this constant; stamp
+				// it here too so the implicit trailing Waitall traces
+				// identically.
+				r.SetCallSite(mpi.EndDrainSite)
+				r.Waitall(st.outstanding...)
+				st.outstanding = nil
 			}
 		}
-		if cfg.treeWalk {
-			st.exec(p.Stmts)
-		} else {
-			for _, f := range compiled.steps {
-				f(st)
-			}
-		}
-		if len(st.outstanding) > 0 {
-			r.Waitall(st.outstanding...)
-			st.outstanding = nil
-		}
+		res, err = mpi.Run(n, model, body, cfg.mpiOpts...)
 	}
-
-	res, err := mpi.Run(n, model, body, cfg.mpiOpts...)
 	if err != nil {
 		return nil, err
 	}
@@ -196,6 +223,7 @@ type taskState struct {
 	world       *mpi.Comm
 	planComms   []*mpi.Comm          // plan position -> communicator (compiled path)
 	comms       map[string]*mpi.Comm // task-group key -> communicator (tree walk)
+	sites       map[Stmt]siteInfo    // deterministic call sites (tree walk)
 	outstanding []*mpi.Request
 	resetAt     float64
 	mu          *sync.Mutex
@@ -232,6 +260,7 @@ func (st *taskState) exec(stmts []Stmt) {
 				continue
 			}
 			dst := x.Dest.Eval(me, st.n)
+			st.rank.SetCallSite(st.sites[s].pri)
 			if x.Async {
 				st.outstanding = append(st.outstanding, st.rank.Isend(st.rank.World(), dst, 0, x.Size))
 			} else {
@@ -242,6 +271,7 @@ func (st *taskState) exec(stmts []Stmt) {
 				continue
 			}
 			src := x.Source.Eval(me, st.n)
+			st.rank.SetCallSite(st.sites[s].pri)
 			if x.Async {
 				st.outstanding = append(st.outstanding, st.rank.Irecv(st.rank.World(), src, 0, x.Size))
 			} else {
@@ -252,6 +282,7 @@ func (st *taskState) exec(stmts []Stmt) {
 				continue
 			}
 			if len(st.outstanding) > 0 {
+				st.rank.SetCallSite(st.sites[s].pri)
 				st.rank.Waitall(st.outstanding...)
 				st.outstanding = st.outstanding[:0]
 			}
@@ -259,6 +290,7 @@ func (st *taskState) exec(stmts []Stmt) {
 			if !x.Who.Contains(me, st.n) {
 				continue
 			}
+			st.rank.SetCallSite(st.sites[s].pri)
 			st.rank.Barrier(st.commFor(x.Who.Set(st.n)))
 		case *ReduceStmt:
 			st.execReduce(x)
@@ -294,15 +326,20 @@ func (st *taskState) execReduce(x *ReduceStmt) {
 		return
 	}
 	comm := st.commFor(srcs, dsts)
+	si := st.sites[x]
 	switch {
 	case srcs.Equal(dsts):
+		st.rank.SetCallSite(si.pri)
 		st.rank.Allreduce(comm, x.Size)
 	case dsts.Size() == 1:
 		root, _ := comm.CommRank(dsts.Min())
+		st.rank.SetCallSite(si.pri)
 		st.rank.Reduce(comm, root, x.Size)
 	default:
 		root, _ := comm.CommRank(dsts.Min())
+		st.rank.SetCallSite(si.pri)
 		st.rank.Reduce(comm, root, x.Size)
+		st.rank.SetCallSite(si.sec)
 		st.rank.Bcast(comm, root, x.Size)
 	}
 }
@@ -317,6 +354,7 @@ func (st *taskState) execMulticast(x *MulticastStmt) {
 		return
 	}
 	comm := st.commFor(srcs, dsts)
+	st.rank.SetCallSite(st.sites[x].pri)
 	if srcs.Size() == 1 {
 		root, _ := comm.CommRank(srcs.Min())
 		st.rank.Bcast(comm, root, x.Size)

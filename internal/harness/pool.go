@@ -35,6 +35,17 @@ var poolOverride atomic.Int32
 // run the harness starts. Zero keeps the runtime default.
 var runTimeoutNS atomic.Int64
 
+// runtimeOpts holds extra mpi options (a []mpi.Option, possibly nil) applied
+// to every harness-started run — CLI plumbing for -runtime.
+var runtimeOpts atomic.Value
+
+// SetRuntimeOptions sets extra mpi options every harness-started run
+// receives, typically the resolved -runtime flag (mpi.RuntimeOptions).
+// Callers must validate the combination up front; nil restores the default.
+func SetRuntimeOptions(opts ...mpi.Option) {
+	runtimeOpts.Store(opts)
+}
+
 // sharedEngine pools simulated worlds across every run the harness starts.
 // Experiment batches replay the same few world sizes dozens of times (trace,
 // generate, replay, what-if variants), so after the first configuration at a
@@ -47,6 +58,19 @@ var sharedEngine = mpi.NewEngine()
 // (benchd's pipeline stages) reuse the same warm worlds instead of
 // maintaining a second pool.
 func SharedEngine() *mpi.Engine { return sharedEngine }
+
+// sharedRunPool is the work-stealing pool of worker Ps that executes every
+// world-driving task the harness fans out — experiment configurations
+// (forEach) and benchd job bodies (Pool) alike. One pool per process keeps
+// the machine's Ps busy without oversubscription no matter how many callers
+// fan out concurrently; tasks that wait on sub-tasks help execute pending
+// work instead of blocking, so nested fan-out cannot deadlock the fixed
+// worker set.
+var sharedRunPool = mpi.NewRunPool(0)
+
+// SharedRunPool exposes the harness's work-stealing run pool so co-hosted
+// components can drive worlds through the same worker set.
+func SharedRunPool() *mpi.RunPool { return sharedRunPool }
 
 // SetParallelism sets how many experiment configurations run concurrently.
 // k <= 0 restores the default (GOMAXPROCS). Results are identical for every
@@ -81,6 +105,9 @@ func runOptions() []mpi.Option {
 	opts := []mpi.Option{mpi.WithEngine(sharedEngine)}
 	if d := time.Duration(runTimeoutNS.Load()); d > 0 {
 		opts = append(opts, mpi.WithTimeout(d))
+	}
+	if extra, _ := runtimeOpts.Load().([]mpi.Option); len(extra) > 0 {
+		opts = append(opts, extra...)
 	}
 	return opts
 }
@@ -118,12 +145,24 @@ func forEachNamed(n int, name func(i int) string, fn func(i int) error) error {
 		return nil
 	}
 	errs := make([]error, n)
-	var cursor atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
+	if workers >= sharedRunPool.Workers() {
+		// Full fan-out: scatter one task per configuration across the run
+		// pool's per-worker deques, one steal away from any idle P. The
+		// caller helps while waiting, so a nested fan-out (a pooled job
+		// that itself calls forEach) executes instead of deadlocking on a
+		// saturated worker set.
+		fns := make([]func(), n)
+		for i := range fns {
+			i := i
+			fns[i] = func() { errs[i] = runJob(name, i, fn) }
+		}
+		mpi.WaitAll(sharedRunPool.SubmitBatch(fns))
+	} else {
+		// A parallelism cap below the pool size is honored with runner
+		// tasks pulling an index cursor: at most `workers` configurations
+		// are in flight no matter how many Ps the pool has.
+		var cursor atomic.Int64
+		runner := func() {
 			for {
 				i := int(cursor.Add(1)) - 1
 				if i >= n {
@@ -131,9 +170,13 @@ func forEachNamed(n int, name func(i int) string, fn func(i int) error) error {
 				}
 				errs[i] = runJob(name, i, fn)
 			}
-		}()
+		}
+		ts := make([]*mpi.RunTicket, workers)
+		for w := range ts {
+			ts[w] = sharedRunPool.Submit(runner)
+		}
+		mpi.WaitAll(ts)
 	}
-	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
 			return err
@@ -196,7 +239,15 @@ func NewPool(workers, queueCap int) *Pool {
 		go func() {
 			defer p.wg.Done()
 			for j := range p.jobs {
-				p.runOne(j)
+				// The worker goroutine is only admission control (it bounds
+				// in-flight jobs at `workers`); the job body itself runs on
+				// the shared work-stealing pool, alongside every other world
+				// the process is driving, instead of on a goroutine of its
+				// own. Run's helping wait keeps this deadlock-free when the
+				// pool is saturated: the dispatcher executes pending tasks
+				// itself rather than parking.
+				j := j
+				sharedRunPool.Run(func() { p.runOne(j) })
 			}
 		}()
 	}

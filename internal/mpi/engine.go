@@ -1,7 +1,9 @@
 package mpi
 
 import (
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/netmodel"
@@ -18,23 +20,37 @@ import (
 //
 // What survives between runs: the rank array (with its grown allocation
 // arenas), the mailboxes (with their per-source indexes and grown queue
-// capacities), the scheduler's run-queue slab, the world communicator's
-// rendezvous, the stackless cursors, and — for coroutine bodies — the
-// parked rank goroutines with their grown stacks. What a reset clears is
-// exactly the per-run state, so results are bit-identical to a fresh world
-// (the pooled-determinism test pins this across every kernel).
+// capacities), the scheduler's run-queue slab, the stackless cursors, and —
+// for coroutine bodies — the parked rank goroutines with their grown stacks.
+// What a reset clears is exactly the per-run state, so results are
+// bit-identical to a fresh world (the pooled-determinism test pins this
+// across every kernel).
 //
-// An Engine is safe for concurrent use. Worlds are pooled per size; a run
-// at a new size is a miss that builds cold. Cancelled, timed-out, panicked
-// and deadlocked runs quiesce before Run returns, so their worlds re-enter
-// the pool and the next reset scrubs the poison (pinned by the pooled
+// An Engine is safe for concurrent use, and built for it: the free lists are
+// sharded into per-P sub-pools (one per GOMAXPROCS at construction), each
+// under its own mutex, with acquisition and release rotating across shards
+// and stealing from the others when the first choice is empty or contended.
+// Concurrent Runs on a work-stealing RunPool therefore never serialize on a
+// single pool lock. Worlds are pooled per size; a run at a size no shard
+// holds is a miss that builds cold. Cancelled, timed-out, panicked and
+// deadlocked runs quiesce before Run returns, so their worlds re-enter the
+// pool and the next reset scrubs the poison (pinned by the pooled
 // cancellation test).
 type Engine struct {
-	mu          sync.Mutex
-	free        map[int][]*pooledWorld
-	cachedRanks int
-	maxRanks    int
-	closed      bool
+	shards   []engineShard
+	rr       atomic.Uint32 // rotation hint spreading acquires/releases over shards
+	cached   atomic.Int64  // total ranks cached across all shards
+	maxRanks int
+	closedMu sync.Mutex
+	closed   bool
+}
+
+// engineShard is one per-P sub-pool: a size-keyed free list under its own
+// mutex. Shards are a contention-avoidance partition, not a semantic one —
+// any run may acquire from (steal) any shard.
+type engineShard struct {
+	mu   sync.Mutex
+	free map[int][]*pooledWorld
 }
 
 // pooledWorld pairs a reusable world with its rank array.
@@ -49,28 +65,48 @@ type pooledWorld struct {
 // re-requests.
 const engineMaxCachedRanks = 2 << 20
 
-// NewEngine returns an empty world pool.
+// NewEngine returns an empty world pool with one sub-pool shard per P.
 func NewEngine() *Engine {
-	return &Engine{free: make(map[int][]*pooledWorld), maxRanks: engineMaxCachedRanks}
+	ns := runtime.GOMAXPROCS(0)
+	if ns < 1 {
+		ns = 1
+	}
+	g := &Engine{shards: make([]engineShard, ns), maxRanks: engineMaxCachedRanks}
+	for i := range g.shards {
+		g.shards[i].free = make(map[int][]*pooledWorld)
+	}
+	return g
 }
 
-// Close empties the pool and stops every cached world's persistent rank
+// Close empties every shard and stops every cached world's persistent rank
 // goroutines. The engine remains usable — subsequent runs simply build cold
 // and are not re-cached — so a racing Run never observes a closed pool as
 // an error.
 func (g *Engine) Close() {
-	g.mu.Lock()
+	g.closedMu.Lock()
 	g.closed = true
+	g.closedMu.Unlock()
 	var all []*pooledWorld
-	for n, l := range g.free {
-		all = append(all, l...)
-		delete(g.free, n)
+	for i := range g.shards {
+		s := &g.shards[i]
+		s.mu.Lock()
+		for n, l := range s.free {
+			all = append(all, l...)
+			g.cached.Add(int64(-n * len(l)))
+			delete(s.free, n)
+		}
+		s.mu.Unlock()
 	}
-	g.cachedRanks = 0
-	g.mu.Unlock()
 	for _, pw := range all {
 		pw.w.sched.stopPersistent()
 	}
+}
+
+// isClosed reports whether Close has been called.
+func (g *Engine) isClosed() bool {
+	g.closedMu.Lock()
+	defer g.closedMu.Unlock()
+	return g.closed
 }
 
 // run executes one pooled run: exactly one of body (coroutine ranks) or
@@ -96,17 +132,18 @@ func (g *Engine) run(n int, model *netmodel.Model, body func(*Rank),
 }
 
 // acquire returns a world for size n: a pooled one (reset in place) on a
-// hit, a cold build on a miss.
+// hit, a cold build on a miss. The time spent searching the sharded free
+// lists — which under concurrent Runs is exactly the pool's lock contention
+// — is recorded in the engine_pool_wait_us histogram.
 func (g *Engine) acquire(n int, model *netmodel.Model, cfg *config) *pooledWorld {
-	var pw *pooledWorld
-	g.mu.Lock()
-	if l := g.free[n]; len(l) > 0 {
-		pw = l[len(l)-1]
-		l[len(l)-1] = nil
-		g.free[n] = l[:len(l)-1]
-		g.cachedRanks -= n
+	var waitStart time.Time
+	if telemetry.Enabled() {
+		waitStart = time.Now()
 	}
-	g.mu.Unlock()
+	pw := g.takeCached(n)
+	if !waitStart.IsZero() {
+		histEnginePoolWaitUS.Observe(float64(time.Since(waitStart)) / float64(time.Microsecond))
+	}
 
 	var setupStart time.Time
 	if telemetry.Enabled() {
@@ -126,49 +163,154 @@ func (g *Engine) acquire(n int, model *netmodel.Model, cfg *config) *pooledWorld
 	return pw
 }
 
-// release returns a world to the pool, evicting older worlds if the rank
+// takeCached removes and returns a size-n world from any shard, nil when no
+// shard holds one. The search makes a TryLock pass first — an uncontended
+// shard costs one CAS — and only falls back to blocking locks on the shards
+// it had to skip, so a cached world is never missed, merely found a little
+// later under contention.
+func (g *Engine) takeCached(n int) *pooledWorld {
+	ns := len(g.shards)
+	start := int(g.rr.Add(1)-1) % ns
+	contended := false
+	for i := 0; i < ns; i++ {
+		s := &g.shards[(start+i)%ns]
+		if !s.mu.TryLock() {
+			contended = true
+			continue
+		}
+		if pw := s.popLocked(n); pw != nil {
+			s.mu.Unlock()
+			g.cached.Add(int64(-n))
+			return pw
+		}
+		s.mu.Unlock()
+	}
+	if !contended {
+		return nil
+	}
+	for i := 0; i < ns; i++ {
+		s := &g.shards[(start+i)%ns]
+		s.mu.Lock()
+		if pw := s.popLocked(n); pw != nil {
+			s.mu.Unlock()
+			g.cached.Add(int64(-n))
+			return pw
+		}
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+// popLocked removes one size-n world from the shard; the caller holds its
+// mutex.
+func (s *engineShard) popLocked(n int) *pooledWorld {
+	l := s.free[n]
+	if len(l) == 0 {
+		return nil
+	}
+	pw := l[len(l)-1]
+	l[len(l)-1] = nil
+	if len(l) == 1 {
+		delete(s.free, n)
+	} else {
+		s.free[n] = l[:len(l)-1]
+	}
+	return pw
+}
+
+// release returns a world to a shard, evicting older worlds if the rank
 // budget overflows. Worlds that don't fit (or arrive after Close) are shut
 // down instead of cached.
 func (g *Engine) release(pw *pooledWorld) {
 	n := pw.w.n
-	var evicted []*pooledWorld
-	g.mu.Lock()
-	if g.closed || n > g.maxRanks {
-		g.mu.Unlock()
+	if g.isClosed() || n > g.maxRanks {
 		pw.w.sched.stopPersistent()
 		return
 	}
-	for g.cachedRanks+n > g.maxRanks {
-		evicted = append(evicted, g.evictOneLocked())
-	}
-	g.free[n] = append(g.free[n], pw)
-	g.cachedRanks += n
-	g.mu.Unlock()
-	for _, old := range evicted {
+	// Reserve the budget first so concurrent releases each see their own
+	// world counted, then evict until the total fits. The budget check is a
+	// soft bound under concurrency: if every shard is empty the world is
+	// inserted anyway (the overshoot is at most one world per releasing
+	// goroutine and disappears with the next eviction).
+	g.cached.Add(int64(n))
+	for g.cached.Load() > int64(g.maxRanks) {
+		old := g.evictOne()
+		if old == nil {
+			break
+		}
 		old.w.sched.stopPersistent()
 	}
-}
-
-// evictOneLocked removes one cached world — the largest size class first,
-// since big worlds hold the most memory per slot. The caller must hold the
-// mutex; the loop in release guarantees the pool is non-empty when the
-// budget overflows.
-func (g *Engine) evictOneLocked() *pooledWorld {
-	best := 0
-	for n, l := range g.free {
-		if len(l) > 0 && n > best {
-			best = n
+	ns := len(g.shards)
+	start := int(g.rr.Add(1)-1) % ns
+	for i := 0; i < ns; i++ {
+		s := &g.shards[(start+i)%ns]
+		if s.mu.TryLock() {
+			s.free[n] = append(s.free[n], pw)
+			s.mu.Unlock()
+			return
 		}
 	}
-	l := g.free[best]
-	pw := l[len(l)-1]
-	l[len(l)-1] = nil
-	g.free[best] = l[:len(l)-1]
-	if len(g.free[best]) == 0 {
-		delete(g.free, best)
+	s := &g.shards[start]
+	s.mu.Lock()
+	s.free[n] = append(s.free[n], pw)
+	s.mu.Unlock()
+}
+
+// evictOne removes one cached world — the largest size class across every
+// shard, since big worlds hold the most memory per slot — and returns it
+// (nil when the pool is empty). Eviction is rare, so it may scan shards
+// twice; shards are locked one at a time, never nested.
+func (g *Engine) evictOne() *pooledWorld {
+	best, bestShard := 0, -1
+	for i := range g.shards {
+		s := &g.shards[i]
+		s.mu.Lock()
+		for n, l := range s.free {
+			if len(l) > 0 && n > best {
+				best, bestShard = n, i
+			}
+		}
+		s.mu.Unlock()
 	}
-	g.cachedRanks -= best
+	if bestShard < 0 {
+		return nil
+	}
+	s := &g.shards[bestShard]
+	s.mu.Lock()
+	// The class may have been drained between the scan and this lock; fall
+	// back to the shard's current largest.
+	pw := s.popLocked(best)
+	if pw == nil {
+		best = 0
+		for n, l := range s.free {
+			if len(l) > 0 && n > best {
+				best = n
+			}
+		}
+		pw = s.popLocked(best)
+	}
+	s.mu.Unlock()
+	if pw != nil {
+		g.cached.Add(int64(-pw.w.n))
+	}
 	return pw
+}
+
+// cachedWorlds reports, per size class, how many worlds the pool currently
+// holds across all shards (test hook).
+func (g *Engine) cachedWorlds() map[int]int {
+	out := map[int]int{}
+	for i := range g.shards {
+		s := &g.shards[i]
+		s.mu.Lock()
+		for n, l := range s.free {
+			if len(l) > 0 {
+				out[n] += len(l)
+			}
+		}
+		s.mu.Unlock()
+	}
+	return out
 }
 
 // reset prepares a pooled world for its next run. Only called between runs,

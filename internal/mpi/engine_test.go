@@ -23,6 +23,8 @@ func TestEngineReuseTelemetry(t *testing.T) {
 	hits0 := ctrWorldReuseHits.Value()
 	misses0 := ctrWorldReuseMisses.Value()
 	setup0 := histRunSetupUS.Stats().Count
+	wait0 := histEnginePoolWaitUS.Stats().Count
+	done0 := ctrWorldsCompleted.Value()
 
 	for i := 0; i < 3; i++ {
 		if _, err := Run(16, netmodel.Ideal(), cleanBody, WithEngine(eng)); err != nil {
@@ -38,6 +40,12 @@ func TestEngineReuseTelemetry(t *testing.T) {
 	}
 	if d := histRunSetupUS.Stats().Count - setup0; d != 3 {
 		t.Errorf("run_setup_us observed %d samples, want 3 (one per acquisition)", d)
+	}
+	if d := histEnginePoolWaitUS.Stats().Count - wait0; d != 3 {
+		t.Errorf("engine_pool_wait_us observed %d samples, want 3 (one per pooled acquisition)", d)
+	}
+	if d := ctrWorldsCompleted.Value() - done0; d != 3 {
+		t.Errorf("worlds_completed grew by %d, want 3 (one per successful run)", d)
 	}
 }
 
@@ -74,11 +82,9 @@ func TestEngineSizeClassesAndEviction(t *testing.T) {
 	if d := ctrWorldReuseHits.Value() - hits0; d != 1 {
 		t.Errorf("hits grew by %d, want 1 (8-rank world survived the eviction)", d)
 	}
-	eng.mu.Lock()
-	if _, ok := eng.free[16]; ok {
+	if _, ok := eng.cachedWorlds()[16]; ok {
 		t.Error("16-rank class still cached; eviction should drop the largest class first")
 	}
-	eng.mu.Unlock()
 }
 
 // TestEngineCloseRemainsUsable pins that Close is a drain, not a kill: runs
@@ -99,9 +105,7 @@ func TestEngineCloseRemainsUsable(t *testing.T) {
 		t.Fatalf("result has %d ranks, want 8", len(res.PerRankUS))
 	}
 	waitForGoroutines(t, base)
-	eng.mu.Lock()
-	if eng.cachedRanks != 0 || len(eng.free) != 0 {
-		t.Errorf("engine cached %d ranks across %d classes after Close", eng.cachedRanks, len(eng.free))
+	if total, classes := eng.cached.Load(), eng.cachedWorlds(); total != 0 || len(classes) != 0 {
+		t.Errorf("engine cached %d ranks across %d classes after Close", total, len(classes))
 	}
-	eng.mu.Unlock()
 }

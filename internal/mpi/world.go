@@ -137,6 +137,27 @@ func EventEngineSelected(opts ...Option) bool {
 	return !cfg.goroutineRT && !cfg.refColl
 }
 
+// RuntimeOptions resolves a CLI-level -runtime flag value into run options,
+// validating it up front against causal profiling so a bad combination is a
+// clear one-line error at flag-parse time instead of a failure deep inside a
+// prepared run. Accepted names: "" or "event" (the default discrete-event
+// engine, no extra options) and "goroutine" (the goroutine-per-rank
+// reference runtime) — the latter is rejected when critpath is set, because
+// the causal profiler requires the event engine's single observation point.
+func RuntimeOptions(name string, critpath bool) ([]Option, error) {
+	switch name {
+	case "", "event":
+		return nil, nil
+	case "goroutine":
+		if critpath {
+			return nil, fmt.Errorf("mpi: -critpath requires the event engine; drop -runtime=goroutine")
+		}
+		return []Option{WithGoroutineRuntime()}, nil
+	default:
+		return nil, fmt.Errorf("mpi: unknown runtime %q (want event or goroutine)", name)
+	}
+}
+
 // denseSrcIndexRanks bounds the world size that uses dense per-source
 // mailbox indexes. The dense form is one pointer-free int32 slab of n² —
 // 64 MiB at 4096 ranks, but 16 TiB at 65536 — so larger worlds fall back
@@ -432,6 +453,7 @@ func (e *eventLoop) awaitQuiesce() {
 }
 
 func collectResult(ranks []Rank) *Result {
+	ctrWorldsCompleted.Inc()
 	res := &Result{PerRankUS: make([]float64, len(ranks))}
 	for i := range ranks {
 		res.PerRankUS[i] = ranks[i].clock

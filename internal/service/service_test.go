@@ -309,9 +309,20 @@ func TestRequestValidation(t *testing.T) {
 		t.Fatalf("unknown job lookup: %v, want 404", err)
 	}
 
+	// The goroutine runtime is refused at admission with a one-line error —
+	// benchd's pipeline always attaches the causal profiler, which the
+	// goroutine runtime cannot drive — instead of failing inside a worker.
+	_, err = cl.Submit(context.Background(),
+		&Request{App: "ring", N: 8, Runtime: "goroutine"})
+	if err == nil || !strings.Contains(err.Error(), "400") ||
+		!strings.Contains(err.Error(), "causal profiler") {
+		t.Fatalf("goroutine-runtime request: %v, want a 400 naming the profiler conflict", err)
+	}
+
 	// Key is stable across normalization: explicit defaults hash like
-	// omitted ones.
-	a := &Request{App: "ring", N: 8}
+	// omitted ones. An explicit "event" runtime is the canonical default and
+	// must hit the same cache entry.
+	a := &Request{App: "ring", N: 8, Runtime: "event"}
 	b := &Request{App: "ring", N: 8, Class: "W", Model: "bluegene", Lang: "conceptual"}
 	if err := a.normalize(); err != nil {
 		t.Fatal(err)
