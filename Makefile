@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: test check bench bench6 bench7 bench8 bench9 bench-all race timeline serve
+.PHONY: test check bench bench6 bench7 bench8 bench9 bench10 bench-all race verify-fuzz timeline serve
 
 test:
 	$(GO) test ./...
@@ -16,10 +16,17 @@ test:
 # decoder.
 check:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/trace/... ./internal/mpi/... ./internal/conceptual/... ./internal/harness/... ./internal/telemetry/... ./internal/service/... ./internal/critpath/...
+	$(GO) test -race ./internal/trace/... ./internal/mpi/... ./internal/conceptual/... ./internal/harness/... ./internal/telemetry/... ./internal/service/... ./internal/critpath/... ./internal/mpnet/...
 	$(GO) test -race -run 'TestEventEngineMatchesGoroutineRuntime|TestRunToRunDeterminism|TestCritPath|TestRunPoolConcurrentDeterminism' .
+	$(GO) test -race -run 'TestVerifySuite|TestVerifyCounterexampleReplay' .
 	$(GO) test -race -short -run 'TestReplayRepresentationsBitIdentical|TestPooledWorldDeterminism|TestPooledReplayDeterminism' .
 	$(GO) test -run NONE -fuzz FuzzDecode -fuzztime 10s ./internal/trace/
+
+# verify-fuzz drives the MP-net exporter and the bounded model checker
+# with untrusted trace documents: anything the codec accepts must lower,
+# export and check without panicking or exploding.
+verify-fuzz:
+	$(GO) test -run NONE -fuzz FuzzExport -fuzztime 10s ./internal/mpnet/
 
 race:
 	$(GO) test -race ./...
@@ -85,6 +92,15 @@ bench9:
 	$(GO) test -run NONE -bench BenchmarkConceptualRepr -benchtime 20x -benchmem . \
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson -series -merge BENCH_9.json > BENCH_9.json.tmp
 	mv BENCH_9.json.tmp BENCH_9.json
+
+# bench10 refreshes BENCH_10.json, the model-checker throughput baseline:
+# bounded exploration of LU's wildcard-heavy MP-net at 4, 8 and 16 ranks.
+# benchjson's verify_throughput section records the states/sec metric per
+# rank count next to the per-exploration ns/op series.
+bench10:
+	$(GO) test -run NONE -bench BenchmarkVerifyCheck -benchtime 10x -benchmem -timeout 30m . \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson -series -merge BENCH_10.json > BENCH_10.json.tmp
+	mv BENCH_10.json.tmp BENCH_10.json
 
 # bench-all runs the full evaluation-reproduction suite without touching the
 # recorded baseline.

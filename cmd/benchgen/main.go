@@ -6,9 +6,18 @@
 //
 // Usage:
 //
-//	benchgen [-i app.trace] [-o app.ncptl] [-lang conceptual|c]
-//	         [-window n] [-cpuprofile prof.out] [-critpath] [-model bluegene]
-//	         [-telemetry] [-timeline stages.json] [-serve :8080]
+//	benchgen [-i app.trace] [-o app.ncptl] [-lang conceptual|c|go|mpnet|tla]
+//	         [-window n] [-cpuprofile prof.out] [-critpath] [-verify]
+//	         [-model bluegene] [-telemetry] [-timeline stages.json] [-serve :8080]
+//
+// -lang mpnet and -lang tla emit the trace's formal communication model
+// (the MP-net JSON artifact, or its TLA+ rendering) instead of an
+// executable benchmark; wildcard receives stay unresolved there, since the
+// artifact's point is modeling the nondeterminism. -verify model-checks the
+// input trace's MP-net before generating: deadlock-freedom by exhaustive
+// exploration at small scale, wildcard resolution cross-validated against
+// Algorithm 2, and any counterexample confirmed by concrete replay on
+// -model; the report goes to stderr and a deadlock exits 1.
 //
 // benchgen's -timeline exports the generation pipeline's wall-clock stages
 // (wildcard resolution, alignment, code generation) rather than a simulated
@@ -29,6 +38,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/critpath"
 	"repro/internal/extrap"
+	"repro/internal/harness"
 	"repro/internal/mpi"
 	"repro/internal/netmodel"
 	"repro/internal/replay"
@@ -40,13 +50,14 @@ func main() {
 	var (
 		in       = flag.String("i", "", "input trace file (default stdin)")
 		out      = flag.String("o", "", "output source file (default stdout)")
-		lang     = flag.String("lang", "conceptual", "target language: conceptual, c, or go")
+		lang     = flag.String("lang", "conceptual", "output format: conceptual, c, go, mpnet (MP-net JSON model) or tla (TLA+ module)")
+		verify   = flag.Bool("verify", false, "model-check the input trace's MP-net (report to stderr; exit 1 on a deadlock)")
 		scaleN   = flag.Int("extrapolate", 0, "extrapolate the trace to this rank count before generating")
 		second   = flag.String("with", "", "second trace at a different scale (disambiguates -extrapolate)")
 		window   = flag.Int("window", 0, "loop-compression window for the alignment/resolution recompression passes (0 = default)")
 		profile  = flag.String("cpuprofile", "", "write a CPU profile of the generation pipeline to this file")
 		critFlag = flag.Bool("critpath", false, "replay the input trace and report its critical path to stderr")
-		modelNm  = flag.String("model", "bluegene", "platform model for -critpath replay")
+		modelNm  = flag.String("model", "bluegene", "platform model for -critpath and -verify counterexample replay")
 		rtName   = flag.String("runtime", "event", "simulation runtime for -critpath replay (event, goroutine)")
 	)
 	tcli := telemetry.NewCLI()
@@ -113,6 +124,23 @@ func main() {
 		}
 	}
 
+	if *verify {
+		model := netmodel.Preset(*modelNm)
+		if model == nil {
+			fatal(fmt.Errorf("unknown model %q", *modelNm))
+		}
+		rep, err := harness.VerifyTrace(tr, model, nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, rep)
+		if !rep.Passed() {
+			// A deadlocking trace has no sound executable benchmark; the
+			// verdict (and its replay-confirmed counterexample) is the output.
+			os.Exit(1)
+		}
+	}
+
 	if *critFlag {
 		model := netmodel.Preset(*modelNm)
 		if model == nil {
@@ -126,19 +154,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, critpath.Analyze(graph))
 	}
 
-	prog, err := core.Generate(tr, &core.Options{
-		Comments: []string{fmt.Sprintf("source trace: %d ranks, %d events", tr.N, tr.TotalEvents())},
-	})
-	if err != nil {
-		fatal(err)
-	}
-
 	var src string
 	switch *lang {
-	case "conceptual":
-		src = conceptual.Print(prog)
-	case "c":
-		src = conceptual.GenerateC(prog)
+	case "conceptual", "c":
+		prog, err := core.Generate(tr, &core.Options{
+			Comments: []string{fmt.Sprintf("source trace: %d ranks, %d events", tr.N, tr.TotalEvents())},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if *lang == "conceptual" {
+			src = conceptual.Print(prog)
+		} else {
+			src = conceptual.GenerateC(prog)
+		}
 	case "go":
 		// The Go backend consumes the trace directly through the pluggable
 		// CodeGenerator interface rather than the coNCePTuaL AST.
@@ -146,8 +175,21 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+	case "mpnet":
+		// The formal-model backends deliberately keep wildcard receives
+		// unresolved: the artifact models the nondeterminism.
+		raw, err := core.GenerateMPNet(tr, nil)
+		if err != nil {
+			fatal(err)
+		}
+		src = string(raw)
+	case "tla":
+		src, err = core.GenerateMPNetTLA(tr, nil, "CommModel")
+		if err != nil {
+			fatal(err)
+		}
 	default:
-		fatal(fmt.Errorf("unknown target language %q", *lang))
+		fatal(fmt.Errorf("unknown output format %q", *lang))
 	}
 
 	w := os.Stdout

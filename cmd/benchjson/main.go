@@ -57,24 +57,36 @@ import (
 var benchLine = regexp.MustCompile(
 	`^(Benchmark\S+?)(?:-(\d+))?\s+\d+\s+(\d+(?:\.\d+)?) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
+// Custom b.ReportMetric columns sit between ns/op and the -benchmem pair,
+// so they get their own regexes rather than a position in benchLine. The
+// model checker reports its state throughput this way.
+var statesLine = regexp.MustCompile(`(\d+(?:\.\d+)?) states/sec`)
+
+// memLine re-finds the -benchmem pair independently of position, since a
+// custom metric between ns/op and B/op keeps benchLine's optional groups
+// from matching.
+var memLine = regexp.MustCompile(`(\d+) B/op\s+(\d+) allocs/op`)
+
 // seriesName splits a sub-benchmark key into its family, variant and world
 // size, e.g. BenchmarkRankScaling/event-65536ranks.
 var seriesName = regexp.MustCompile(`^Benchmark(\w+)/(.+?)-(\d+)ranks$`)
 
 type entry struct {
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
-	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp  int64   `json:"allocs_per_op,omitempty"`
+	StatesPerSec float64 `json:"states_per_sec,omitempty"`
 }
 
 // seriesPoint is one measured point of a -series family.
 type seriesPoint struct {
-	Variant     string  `json:"variant"`
-	Nprocs      int     `json:"nprocs"`
-	Gomaxprocs  int     `json:"gomaxprocs"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
-	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	Variant      string  `json:"variant"`
+	Nprocs       int     `json:"nprocs"`
+	Gomaxprocs   int     `json:"gomaxprocs"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp  int64   `json:"allocs_per_op,omitempty"`
+	StatesPerSec float64 `json:"states_per_sec,omitempty"`
 }
 
 func main() {
@@ -98,6 +110,15 @@ func main() {
 		if m[5] != "" {
 			e.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
 		}
+		if sm := statesLine.FindStringSubmatch(sc.Text()); sm != nil {
+			e.StatesPerSec, _ = strconv.ParseFloat(sm[1], 64)
+		}
+		if e.BytesPerOp == 0 && e.AllocsPerOp == 0 {
+			if mm := memLine.FindStringSubmatch(sc.Text()); mm != nil {
+				e.BytesPerOp, _ = strconv.ParseInt(mm[1], 10, 64)
+				e.AllocsPerOp, _ = strconv.ParseInt(mm[2], 10, 64)
+			}
+		}
 		raw, err := json.Marshal(e)
 		if err != nil {
 			fatal(err)
@@ -116,6 +137,7 @@ func main() {
 			pointsByFam[sm[1]] = append(pointsByFam[sm[1]], seriesPoint{
 				Variant: sm[2], Nprocs: n, Gomaxprocs: cpu,
 				NsPerOp: e.NsPerOp, BytesPerOp: e.BytesPerOp, AllocsPerOp: e.AllocsPerOp,
+				StatesPerSec: e.StatesPerSec,
 			})
 		}
 	}
@@ -200,6 +222,9 @@ func main() {
 		if sp := variantSpeedups(fams, "cursor", "coroutine"); len(sp) > 0 {
 			setJSON(doc, "cursor_speedups", sp)
 		}
+		if vt := verifyThroughput(fams); len(vt) > 0 {
+			setJSON(doc, "verify_throughput", vt)
+		}
 	}
 	setJSON(doc, "date", time.Now().UTC().Format("2006-01-02"))
 	setJSON(doc, "go", runtime.Version()+" "+runtime.GOOS+"/"+runtime.GOARCH)
@@ -277,6 +302,24 @@ func variantSpeedups(fams map[string][]seriesPoint, base, other string) map[stri
 					out[key] = math.Round(q.NsPerOp/p.NsPerOp*100) / 100
 				}
 			}
+		}
+	}
+	return out
+}
+
+// verifyThroughput gathers the model checker's states/sec metric per
+// measured point — the BENCH_10.json checker-throughput-vs-rank-count
+// evidence. Points without the metric (every non-verifier benchmark) are
+// skipped.
+func verifyThroughput(fams map[string][]seriesPoint) map[string]float64 {
+	out := map[string]float64{}
+	for fam, pts := range fams {
+		for _, p := range pts {
+			if p.StatesPerSec <= 0 {
+				continue
+			}
+			key := fmt.Sprintf("%s/%s-%dranks-%dP", fam, p.Variant, p.Nprocs, p.Gomaxprocs)
+			out[key] = math.Round(p.StatesPerSec)
 		}
 	}
 	return out

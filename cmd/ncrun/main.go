@@ -4,8 +4,15 @@
 //
 // Usage:
 //
-//	ncrun -n 16 [-model bluegene] [-profile] [-critpath] [-scale-compute 0.5]
-//	      [-telemetry] [-timeline run.json] [-serve :8080] prog.ncptl
+//	ncrun -n 16 [-model bluegene] [-profile] [-critpath] [-verify]
+//	      [-scale-compute 0.5] [-telemetry] [-timeline run.json]
+//	      [-serve :8080] prog.ncptl
+//
+// -verify traces the benchmark's own execution and model-checks the
+// collected trace's MP-net after the run: the schedule that just executed
+// is one interleaving, and a wildcard receive may still admit a deadlocking
+// match the scheduler happened to avoid. The verification report goes to
+// stderr; a found deadlock (confirmed by concrete replay) exits 1.
 //
 // With -timeline the benchmark's virtual-time schedule is exported as Chrome
 // trace-event JSON (one row per task) for ui.perfetto.dev. -critpath attaches
@@ -21,10 +28,12 @@ import (
 
 	"repro/internal/conceptual"
 	"repro/internal/critpath"
+	"repro/internal/harness"
 	"repro/internal/mpi"
 	"repro/internal/mpip"
 	"repro/internal/netmodel"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -34,6 +43,7 @@ func main() {
 		profile   = flag.Bool("profile", false, "print the mpiP-style profile")
 		critFlag  = flag.Bool("critpath", false, "print the critical-path & wait-state profile")
 		rtName    = flag.String("runtime", "event", "simulation runtime (event, goroutine)")
+		verify    = flag.Bool("verify", false, "trace the run and model-check its MP-net (report after the run; exit 1 on a deadlock)")
 		scale     = flag.Float64("scale-compute", 1.0, "multiply all COMPUTE durations (what-if studies)")
 	)
 	tcli := telemetry.NewCLI()
@@ -76,12 +86,23 @@ func main() {
 	}
 
 	prof := mpip.NewProfile()
-	tracers := func(rank int) mpi.Tracer { return prof.TracerFor(rank) }
+	var col *trace.Collector
+	if *verify {
+		col = trace.NewCollector(tasks)
+	}
+	var timeline func(int) mpi.Tracer
 	if tl := tcli.Timeline(); tl != nil {
-		timeline := mpi.TimelineTracer(tl)
-		tracers = func(rank int) mpi.Tracer {
-			return mpi.MultiTracer{prof.TracerFor(rank), timeline(rank)}
+		timeline = mpi.TimelineTracer(tl)
+	}
+	tracers := func(rank int) mpi.Tracer {
+		mt := mpi.MultiTracer{prof.TracerFor(rank)}
+		if col != nil {
+			mt = append(mt, col.TracerFor(rank))
 		}
+		if timeline != nil {
+			mt = append(mt, timeline(rank))
+		}
+		return mt
 	}
 	mpiOpts := append([]mpi.Option{mpi.WithTracer(tracers)}, rtOpts...)
 	var graph *mpi.DepGraph
@@ -111,6 +132,20 @@ func main() {
 	}
 	if err := tcli.Finish(); err != nil {
 		fatal(err)
+	}
+	if col != nil {
+		// Model-check the run's own communication trace: the benchmark
+		// executed, but a wildcard receive it performed may still admit a
+		// deadlocking match the schedule happened to avoid — exactly what
+		// the checker explores.
+		rep, err := harness.VerifyTrace(col.Trace(), model, nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, rep)
+		if !rep.Passed() {
+			os.Exit(1)
+		}
 	}
 }
 

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/netmodel"
+	"repro/internal/trace"
+)
+
+func collectWildcard(t *testing.T) *trace.Trace {
+	t.Helper()
+	n := 3
+	col := trace.NewCollector(n)
+	_, err := mpi.Run(n, netmodel.Ideal(), func(r *mpi.Rank) {
+		if r.Rank() == 0 {
+			r.Recv(r.World(), mpi.AnySource, 0, 16)
+			r.Recv(r.World(), mpi.AnySource, 0, 16)
+		} else {
+			r.Send(r.World(), 0, 0, 16)
+		}
+	}, mpi.WithTracer(col.TracerFor))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return col.Trace()
+}
+
+func TestGenerateMPNetKeepsWildcards(t *testing.T) {
+	raw, err := GenerateMPNet(collectWildcard(t), nil)
+	if err != nil {
+		t.Fatalf("GenerateMPNet: %v", err)
+	}
+	var doc struct {
+		NProcs    int `json:"nprocs"`
+		Wildcards int `json:"wildcards"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("artifact is not JSON: %v", err)
+	}
+	// The model backend must NOT resolve wildcards: the artifact's value
+	// is modeling the nondeterminism.
+	if doc.NProcs != 3 || doc.Wildcards != 2 {
+		t.Fatalf("artifact: nprocs=%d wildcards=%d, want 3 and 2", doc.NProcs, doc.Wildcards)
+	}
+}
+
+func TestGenerateMPNetTLA(t *testing.T) {
+	mod, err := GenerateMPNetTLA(collectWildcard(t), nil, "Star")
+	if err != nil {
+		t.Fatalf("GenerateMPNetTLA: %v", err)
+	}
+	if !strings.Contains(mod, "---- MODULE Star ----") || !strings.Contains(mod, "recv-any") {
+		t.Fatalf("TLA artifact malformed:\n%s", mod)
+	}
+}

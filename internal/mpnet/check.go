@@ -1,0 +1,621 @@
+package mpnet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/mpi"
+	"repro/internal/telemetry"
+)
+
+// ctrStates counts canonical states explored by the checker across all
+// verification runs (exported on /metrics as mpnet.states_explored).
+var ctrStates = telemetry.NewCounter("mpnet.states_explored")
+
+// The checker explores the net's executions in drain-normal form, the
+// POE-style reduction of ISP (Vakkalanka et al.): every transition
+// except a wildcard match is deterministic under the net's semantics —
+// sends complete eagerly, concrete receives match in posting order
+// against per-channel token counts, collectives are rendezvous — so
+// deterministic transitions are fired exhaustively in a canonical
+// round-robin order (this is the partial-order reduction over
+// independent rank steps), and only at quiescence, when no deterministic
+// transition is enabled, does the search branch over the wildcard
+// matches available. Delaying wildcard matches to quiescence is sound
+// and maximal: firing deterministic transitions only adds tokens to
+// channels, so every source available at any earlier point is still
+// available at quiescence, and a message that is causally after a match
+// can never have been that match.
+//
+// Branches on different ranks are independent (a channel place has a
+// single consumer rank), so sibling choices are entered into sleep sets
+// and the visited-state memo stores the sleep set it was explored under
+// (a state is pruned only when it is reached with a superset of the
+// stored sleep set; otherwise it is re-explored under the intersection).
+// The quiescent states are searched breadth-first by wildcard-choice
+// depth, so the first deadlock found carries a minimal number of
+// wildcard commitments — the minimal counterexample interleaving.
+
+// Choice is one wildcard commitment of an execution: rank's receive at
+// event index Event matched a message from world rank Source.
+type Choice struct {
+	Rank   int    `json:"rank"`
+	Event  int    `json:"event"`
+	Source int    `json:"source"`
+	Tag    int    `json:"tag"`
+	Site   uint64 `json:"site"`
+}
+
+// Counterexample is a minimal deadlocking execution: commit the wildcard
+// choices in order (draining all deterministic transitions between them)
+// and the net reaches a state where no transition is enabled while
+// Blocked ranks still hold events.
+type Counterexample struct {
+	Choices []Choice `json:"choices"`
+	Blocked []string `json:"blocked"`
+}
+
+// Verdict is the result of exploring one net.
+type Verdict struct {
+	// DeadlockFree is true only when the exploration was Exhaustive and
+	// found no deadlock; a bounded-out search leaves it false.
+	DeadlockFree bool `json:"deadlock_free"`
+	// Exhaustive reports whether the full (reduced) state space fit in
+	// Options.MaxStates.
+	Exhaustive     bool            `json:"exhaustive"`
+	StatesExplored int             `json:"states_explored"`
+	BranchPoints   int             `json:"branch_points"`
+	Executions     int             `json:"executions"`
+	MaxChoiceDepth int             `json:"max_choice_depth"`
+	Counterexample *Counterexample `json:"counterexample,omitempty"`
+}
+
+// slot is one outstanding nonblocking request (the resolver's
+// outstanding list): ev indexes the rank's event sequence; send slots
+// are born matched.
+type slot struct {
+	ev      int32
+	matched bool
+}
+
+// vmState is one marking of the net: per-rank control positions,
+// per-channel token counts, and per-rank outstanding request queues.
+type vmState struct {
+	pc    []int32
+	chans []int32
+	out   [][]slot
+}
+
+func (s *vmState) clone() *vmState {
+	c := &vmState{
+		pc:    append([]int32(nil), s.pc...),
+		chans: append([]int32(nil), s.chans...),
+		out:   make([][]slot, len(s.out)),
+	}
+	for i, q := range s.out {
+		c.out[i] = append([]slot(nil), q...)
+	}
+	return c
+}
+
+// encode renders the canonical state key: varints of every pc, every
+// channel count and every outstanding queue (event index and matched
+// bit), in fixed order.
+func (s *vmState) encode(buf []byte) []byte {
+	buf = buf[:0]
+	for _, pc := range s.pc {
+		buf = binary.AppendUvarint(buf, uint64(pc))
+	}
+	for _, ct := range s.chans {
+		buf = binary.AppendUvarint(buf, uint64(ct))
+	}
+	for _, q := range s.out {
+		buf = binary.AppendUvarint(buf, uint64(len(q)))
+		for _, sl := range q {
+			v := uint64(sl.ev) << 1
+			if sl.matched {
+				v |= 1
+			}
+			buf = binary.AppendUvarint(buf, v)
+		}
+	}
+	return buf
+}
+
+// option is one enabled wildcard match: the receive at event index ev of
+// rank may consume a token from channel ch.
+type option struct {
+	rank int
+	ev   int32
+	ch   int32
+}
+
+// key packs the option's identity for sleep sets. Event and channel
+// indices are bounded by MaxEvents, far below 2^22.
+func (o option) key() uint64 {
+	return uint64(o.rank)<<44 | uint64(o.ev)<<22 | uint64(o.ch)
+}
+
+type checker struct {
+	net *Net
+	n   int
+}
+
+func (c *checker) initState() *vmState {
+	return &vmState{
+		pc:    make([]int32, c.n),
+		chans: make([]int32, len(c.net.Chans)),
+		out:   make([][]slot, c.n),
+	}
+}
+
+func (c *checker) done(s *vmState, rank int) bool {
+	return int(s.pc[rank]) >= len(c.net.Procs[rank])
+}
+
+func (c *checker) allDone(s *vmState) bool {
+	for r := 0; r < c.n; r++ {
+		if !c.done(s, r) {
+			return false
+		}
+	}
+	return true
+}
+
+// compat reports whether a receive event may consume from channel ch.
+func (c *checker) compat(ev *Event, ch int32) bool {
+	key := c.net.Chans[ch]
+	if ev.CommID != key.CommID || (ev.Tag != mpi.AnyTag && ev.Tag != key.Tag) {
+		return false
+	}
+	return ev.Wild || ev.Peer == key.Src
+}
+
+// unmatchedWilds returns the rank's unmatched wildcard slots in posting
+// order, for MPI non-overtaking: a message compatible with an
+// earlier-posted unmatched wildcard must match that wildcard, so no
+// later concrete receive may steal it during the deterministic drain.
+func (c *checker) unmatchedWilds(s *vmState, rank int) []*Event {
+	var wilds []*Event
+	for _, sl := range s.out[rank] {
+		if sl.matched {
+			continue
+		}
+		if ev := &c.net.Procs[rank][sl.ev]; ev.Wild {
+			wilds = append(wilds, ev)
+		}
+	}
+	return wilds
+}
+
+func (c *checker) shadowed(wilds []*Event, ch int32) bool {
+	key := c.net.Chans[ch]
+	for _, w := range wilds {
+		if w.CommID == key.CommID && (w.Tag == mpi.AnyTag || w.Tag == key.Tag) {
+			return true
+		}
+	}
+	return false
+}
+
+// takeConcrete consumes a token for a concrete receive if one is
+// available and not claimed by an earlier wildcard.
+func (c *checker) takeConcrete(s *vmState, ev *Event, wilds []*Event) bool {
+	for _, ch := range ev.Cands {
+		if s.chans[ch] > 0 && !c.shadowed(wilds, ch) {
+			s.chans[ch]--
+			return true
+		}
+	}
+	return false
+}
+
+// matchPending matches the rank's unmatched concrete posted receives in
+// posting order (the resolver's matchInbox). Wildcard slots are left for
+// the branch step.
+func (c *checker) matchPending(s *vmState, rank int) bool {
+	progress := false
+	var wilds []*Event
+	q := s.out[rank]
+	for i := range q {
+		if q[i].matched {
+			continue
+		}
+		ev := &c.net.Procs[rank][q[i].ev]
+		if ev.Wild {
+			wilds = append(wilds, ev)
+			continue
+		}
+		if ev.Kind == EvIrecv && c.takeConcrete(s, ev, wilds) {
+			q[i].matched = true
+			progress = true
+		}
+	}
+	return progress
+}
+
+// step advances one rank until it blocks or finishes, mirroring the
+// resolver's run loop event for event.
+func (c *checker) step(s *vmState, rank int) bool {
+	progress := c.matchPending(s, rank)
+	procs := c.net.Procs[rank]
+	for {
+		pc := s.pc[rank]
+		if int(pc) >= len(procs) {
+			return progress
+		}
+		ev := &procs[pc]
+		switch ev.Kind {
+		case EvLocal:
+			// Pass through.
+		case EvSend:
+			if ev.Chan >= 0 {
+				s.chans[ev.Chan]++
+				c.matchPending(s, ev.Peer) // eager delivery, as in the resolver
+			}
+			if ev.Op == mpi.OpIsend {
+				s.out[rank] = append(s.out[rank], slot{ev: pc, matched: true})
+			}
+		case EvIrecv:
+			sl := slot{ev: pc}
+			if !ev.Wild && c.takeConcrete(s, ev, c.unmatchedWilds(s, rank)) {
+				sl.matched = true
+			}
+			s.out[rank] = append(s.out[rank], sl)
+		case EvRecv:
+			if !c.takeConcrete(s, ev, c.unmatchedWilds(s, rank)) {
+				return progress
+			}
+		case EvRecvAny:
+			return progress // wildcard branch point
+		case EvWait:
+			q := s.out[rank]
+			if len(q) > 0 {
+				if !q[0].matched {
+					return progress
+				}
+				s.out[rank] = q[1:]
+			}
+		case EvWaitall:
+			for i := range s.out[rank] {
+				if !s.out[rank][i].matched {
+					return progress
+				}
+			}
+			s.out[rank] = s.out[rank][:0]
+		case EvColl:
+			group := c.net.Trace.CommGroup(ev.CommID)
+			if len(group) == 0 {
+				break // malformed communicator: pass through
+			}
+			if !c.collReady(s, ev.CommID, group) {
+				return progress
+			}
+			for _, m := range group {
+				s.pc[m]++
+			}
+			progress = true
+			continue // the rendezvous advanced our own pc too
+		}
+		s.pc[rank] = pc + 1
+		progress = true
+	}
+}
+
+// collReady reports whether every member of the communicator is parked
+// at a collective on it (arrival counting, as in the resolver).
+func (c *checker) collReady(s *vmState, commID int, group []int) bool {
+	for _, m := range group {
+		if m < 0 || m >= c.n || c.done(s, m) {
+			return false
+		}
+		e := &c.net.Procs[m][s.pc[m]]
+		if e.Kind != EvColl || e.CommID != commID {
+			return false
+		}
+	}
+	return true
+}
+
+// drain fires deterministic transitions round-robin to fixpoint,
+// producing the canonical quiescent successor.
+func (c *checker) drain(s *vmState) {
+	for {
+		progress := false
+		for r := 0; r < c.n; r++ {
+			if c.step(s, r) {
+				progress = true
+			}
+		}
+		if !progress {
+			return
+		}
+	}
+}
+
+// enumerate lists the wildcard matches enabled at a quiescent state: for
+// every channel holding tokens, the earliest-posted compatible unmatched
+// receive of the destination rank may consume one; by the drain's
+// fixpoint that receive is always a wildcard. Options are returned in
+// deterministic (rank, event, channel) order.
+func (c *checker) enumerate(s *vmState) []option {
+	var opts []option
+	for ci := range c.net.Chans {
+		ch := int32(ci)
+		if s.chans[ch] == 0 {
+			continue
+		}
+		rank := c.net.Chans[ch].Dst
+		if w := c.earliestConsumer(s, rank, ch); w >= 0 {
+			opts = append(opts, option{rank: rank, ev: w, ch: ch})
+		}
+	}
+	sort.Slice(opts, func(i, j int) bool {
+		a, b := opts[i], opts[j]
+		if a.rank != b.rank {
+			return a.rank < b.rank
+		}
+		if a.ev != b.ev {
+			return a.ev < b.ev
+		}
+		return a.ch < b.ch
+	})
+	return opts
+}
+
+// earliestConsumer returns the event index of the earliest-posted
+// unmatched wildcard receive of rank compatible with channel ch, or -1.
+// Posting order scans the outstanding queue first, then a blocking
+// receive at the control position.
+func (c *checker) earliestConsumer(s *vmState, rank int, ch int32) int32 {
+	for _, sl := range s.out[rank] {
+		if sl.matched {
+			continue
+		}
+		ev := &c.net.Procs[rank][sl.ev]
+		if !c.compat(ev, ch) {
+			continue
+		}
+		if ev.Wild {
+			return sl.ev
+		}
+		return -1 // a compatible concrete slot at quiescence is itself shadowed
+	}
+	if !c.done(s, rank) {
+		pc := s.pc[rank]
+		if ev := &c.net.Procs[rank][pc]; ev.Kind == EvRecvAny && c.compat(ev, ch) {
+			return pc
+		}
+	}
+	return -1
+}
+
+// apply commits one wildcard match and returns the recorded choice.
+func (c *checker) apply(s *vmState, o option) Choice {
+	s.chans[o.ch]--
+	ev := &c.net.Procs[o.rank][o.ev]
+	if ev.Kind == EvRecvAny && s.pc[o.rank] == o.ev {
+		s.pc[o.rank] = o.ev + 1
+	} else {
+		for i := range s.out[o.rank] {
+			if s.out[o.rank][i].ev == o.ev {
+				s.out[o.rank][i].matched = true
+				break
+			}
+		}
+	}
+	return Choice{
+		Rank: o.rank, Event: int(o.ev), Source: c.net.Chans[o.ch].Src,
+		Tag: c.net.Chans[o.ch].Tag, Site: ev.Site,
+	}
+}
+
+// blockedReport describes every unfinished rank's stuck event, in the
+// resolver's DeadlockError format.
+func (c *checker) blockedReport(s *vmState) []string {
+	var blocked []string
+	for r := 0; r < c.n; r++ {
+		if c.done(s, r) {
+			continue
+		}
+		ev := &c.net.Procs[r][s.pc[r]]
+		blocked = append(blocked,
+			fmt.Sprintf("rank %d blocked on %v (peer %v, tag %d)", r, ev.Op, peerString(ev), ev.Tag))
+	}
+	sort.Strings(blocked)
+	return blocked
+}
+
+func peerString(ev *Event) string {
+	if ev.Wild {
+		return "any"
+	}
+	if ev.Peer == mpi.NoPeer {
+		return "-"
+	}
+	return fmt.Sprintf("abs%d", ev.Peer)
+}
+
+// entry is one frontier state of the breadth-first search.
+type entry struct {
+	s       *vmState
+	choices []Choice
+	sleep   []uint64 // sorted option keys
+}
+
+func sleepHas(sleep []uint64, k uint64) bool {
+	i := sort.Search(len(sleep), func(i int) bool { return sleep[i] >= k })
+	return i < len(sleep) && sleep[i] == k
+}
+
+func sleepInsert(sleep []uint64, k uint64) []uint64 {
+	i := sort.Search(len(sleep), func(i int) bool { return sleep[i] >= k })
+	if i < len(sleep) && sleep[i] == k {
+		return sleep
+	}
+	out := make([]uint64, 0, len(sleep)+1)
+	out = append(out, sleep[:i]...)
+	out = append(out, k)
+	return append(out, sleep[i:]...)
+}
+
+// subset reports a ⊆ b over sorted key slices.
+func subset(a, b []uint64) bool {
+	j := 0
+	for _, k := range a {
+		for j < len(b) && b[j] < k {
+			j++
+		}
+		if j >= len(b) || b[j] != k {
+			return false
+		}
+	}
+	return true
+}
+
+func intersect(a, b []uint64) []uint64 {
+	var out []uint64
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i, j = i+1, j+1
+		}
+	}
+	return out
+}
+
+// Check explores the net and renders a verdict. With no wildcard
+// receives the net is deterministic and the exploration is a single
+// linear execution.
+func (n *Net) Check(opts *Options) *Verdict {
+	maxStates := opts.maxStates()
+	c := &checker{net: n, n: n.N}
+	v := &Verdict{}
+
+	init := c.initState()
+	c.drain(init)
+	v.StatesExplored = 1
+	ctrStates.Inc()
+
+	queue := []entry{{s: init}}
+	visited := map[string][]uint64{string(init.encode(nil)): nil}
+	var buf []byte
+	bounded := false
+
+	for len(queue) > 0 {
+		e := queue[0]
+		queue = queue[1:]
+		if len(e.choices) > v.MaxChoiceDepth {
+			v.MaxChoiceDepth = len(e.choices)
+		}
+		if c.allDone(e.s) {
+			v.Executions++
+			continue
+		}
+		options := c.enumerate(e.s)
+		if len(options) == 0 {
+			// Quiescent, unfinished, nothing to match: deadlock. BFS order
+			// makes this the minimal-commitment counterexample.
+			v.Counterexample = &Counterexample{
+				Choices: e.choices,
+				Blocked: c.blockedReport(e.s),
+			}
+			return v
+		}
+		live := options[:0:0]
+		for _, o := range options {
+			if !sleepHas(e.sleep, o.key()) {
+				live = append(live, o)
+			}
+		}
+		if len(live) == 0 {
+			continue // every enabled match is covered by a sibling branch
+		}
+		v.BranchPoints++
+		fired := make([]option, 0, len(live))
+		for _, o := range live {
+			child := e.s.clone()
+			choice := c.apply(child, o)
+			c.drain(child)
+			// The child sleeps on every independently-explored sibling and
+			// inherited entry; same-rank entries conflict with this choice
+			// and are dropped.
+			var childSleep []uint64
+			for _, k := range e.sleep {
+				if int(k>>44) != o.rank {
+					childSleep = sleepInsert(childSleep, k)
+				}
+			}
+			for _, f := range fired {
+				if f.rank != o.rank {
+					childSleep = sleepInsert(childSleep, f.key())
+				}
+			}
+			fired = append(fired, o)
+
+			buf = child.encode(buf)
+			key := string(buf)
+			if stored, seen := visited[key]; seen {
+				if subset(stored, childSleep) {
+					continue // already explored under fewer restrictions
+				}
+				childSleep = intersect(stored, childSleep)
+			}
+			visited[key] = childSleep
+			v.StatesExplored++
+			ctrStates.Inc()
+			if v.StatesExplored >= maxStates {
+				bounded = true
+				break
+			}
+			queue = append(queue, entry{
+				s:       child,
+				choices: append(append([]Choice(nil), e.choices...), choice),
+				sleep:   childSleep,
+			})
+		}
+		if bounded {
+			break
+		}
+	}
+	if !bounded {
+		v.Exhaustive = true
+		v.DeadlockFree = true
+	}
+	return v
+}
+
+// ForcedRun executes the single interleaving in which every wildcard
+// receive matches the source named by assign (keyed by rank and event
+// index, as in Choice). It reports whether that execution completes; if
+// not, blocked describes the stuck state. This is how the resolver's
+// match assignment is checked for admission by the net.
+func (n *Net) ForcedRun(assign map[[2]int]int) (completed bool, blocked []string) {
+	c := &checker{net: n, n: n.N}
+	s := c.initState()
+	for {
+		c.drain(s)
+		if c.allDone(s) {
+			return true, nil
+		}
+		options := c.enumerate(s)
+		picked := false
+		for _, o := range options {
+			if src, ok := assign[[2]int{o.rank, int(o.ev)}]; ok && src == n.Chans[o.ch].Src {
+				c.apply(s, o)
+				picked = true
+				break
+			}
+		}
+		if !picked {
+			return false, c.blockedReport(s)
+		}
+	}
+}

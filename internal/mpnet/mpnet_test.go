@@ -1,0 +1,378 @@
+package mpnet
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/netmodel"
+	"repro/internal/trace"
+	"repro/internal/wildcard"
+)
+
+func collect(t testing.TB, n int, body func(*mpi.Rank)) *trace.Trace {
+	t.Helper()
+	col := trace.NewCollector(n)
+	if _, err := mpi.Run(n, netmodel.Ideal(), body, mpi.WithTracer(col.TracerFor)); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return col.Trace()
+}
+
+func ringBody(r *mpi.Rank) {
+	c := r.World()
+	next := (r.Rank() + 1) % r.Size()
+	prev := (r.Rank() - 1 + r.Size()) % r.Size()
+	for i := 0; i < 3; i++ {
+		req := r.Isend(c, next, 7, 64)
+		r.Recv(c, prev, 7, 64)
+		r.Wait(req)
+	}
+	r.Barrier(c)
+}
+
+// figure5Body reproduces the paper's Figure 5 potential deadlock (the
+// examples/deadlock shape): rank 1's wildcard receive may consume rank
+// 0's message, starving the following concrete Recv(0). The compute
+// delay makes the *traced* execution match rank 2 and complete — the
+// hazard is invisible to the run and only the model can see it.
+func figure5Body(r *mpi.Rank) {
+	c := r.World()
+	switch r.Rank() {
+	case 0:
+		r.Compute(100)
+		r.Send(c, 1, 0, 8)
+	case 2:
+		r.Send(c, 1, 0, 8)
+	}
+	r.Barrier(c)
+	if r.Rank() == 1 {
+		r.Recv(c, mpi.AnySource, 0, 8)
+		r.Recv(c, 0, 0, 8)
+	}
+}
+
+// collectFigure5 traces figure5Body under a real latency model so the
+// traced execution completes (the wildcard matches rank 2).
+func collectFigure5(t testing.TB) *trace.Trace {
+	t.Helper()
+	col := trace.NewCollector(3)
+	if _, err := mpi.Run(3, netmodel.BlueGeneL(), figure5Body, mpi.WithTracer(col.TracerFor)); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return col.Trace()
+}
+
+func TestFromTraceRing(t *testing.T) {
+	n := 4
+	net, err := FromTrace(collect(t, n, ringBody), nil)
+	if err != nil {
+		t.Fatalf("FromTrace: %v", err)
+	}
+	if net.N != n || net.Wildcards != 0 {
+		t.Fatalf("net: N=%d wildcards=%d", net.N, net.Wildcards)
+	}
+	// One channel per directed ring edge.
+	if len(net.Chans) != n {
+		t.Fatalf("channels = %d, want %d", len(net.Chans), n)
+	}
+	// Per rank: Init + 3x(Isend, Recv, Wait) + Barrier + Finalize.
+	for rank := 0; rank < n; rank++ {
+		if got := len(net.Procs[rank]); got != 12 {
+			t.Fatalf("rank %d has %d events:\n%v", rank, got, net.Procs[rank])
+		}
+	}
+}
+
+func TestCheckRingDeadlockFree(t *testing.T) {
+	net, err := FromTrace(collect(t, 4, ringBody), nil)
+	if err != nil {
+		t.Fatalf("FromTrace: %v", err)
+	}
+	v := net.Check(nil)
+	if !v.DeadlockFree || !v.Exhaustive {
+		t.Fatalf("verdict: %+v", v)
+	}
+	if v.Executions != 1 || v.BranchPoints != 0 {
+		t.Fatalf("deterministic net explored %d executions, %d branch points",
+			v.Executions, v.BranchPoints)
+	}
+}
+
+func TestCheckFindsFigure5Deadlock(t *testing.T) {
+	net, err := FromTrace(collectFigure5(t), nil)
+	if err != nil {
+		t.Fatalf("FromTrace: %v", err)
+	}
+	v := net.Check(nil)
+	if v.DeadlockFree || v.Counterexample == nil {
+		t.Fatalf("checker missed the Figure 5 deadlock: %+v", v)
+	}
+	// The minimal counterexample is a single commitment: the wildcard
+	// takes rank 0's message.
+	cx := v.Counterexample
+	if len(cx.Choices) != 1 {
+		t.Fatalf("counterexample has %d choices, want 1: %+v", len(cx.Choices), cx)
+	}
+	if c := cx.Choices[0]; c.Rank != 1 || c.Source != 0 {
+		t.Fatalf("counterexample choice = %+v, want rank 1 matching source 0", c)
+	}
+	if len(cx.Blocked) == 0 {
+		t.Fatalf("counterexample carries no blocked report")
+	}
+}
+
+func TestCounterexampleReplayConfirms(t *testing.T) {
+	tr := collectFigure5(t)
+	net, err := FromTrace(tr, nil)
+	if err != nil {
+		t.Fatalf("FromTrace: %v", err)
+	}
+	v := net.Check(nil)
+	if v.Counterexample == nil {
+		t.Fatal("no counterexample")
+	}
+	pinned, err := CounterexampleTrace(net, v.Counterexample)
+	if err != nil {
+		t.Fatalf("CounterexampleTrace: %v", err)
+	}
+	if wildcard.Present(pinned) {
+		t.Fatalf("counterexample trace still has wildcards:\n%s", pinned)
+	}
+	confirmed, rerr := ConfirmCounterexample(net, v.Counterexample, netmodel.Ideal())
+	if !confirmed {
+		t.Fatalf("engine did not confirm the deadlock: %v", rerr)
+	}
+	if rerr == nil || !strings.Contains(rerr.Error(), "deadlock detected") {
+		t.Fatalf("confirmation error = %v, want the engine's proven-deadlock report", rerr)
+	}
+}
+
+func TestVerifyFigure5AgreesWithResolver(t *testing.T) {
+	rep, err := Verify(collectFigure5(t), nil)
+	if err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if rep.DeadlockFree() {
+		t.Fatalf("report claims deadlock-free: %+v", rep)
+	}
+	// Algorithm 2's own traversal also gets stuck on Figure 5, so the
+	// sufficient condition and the exhaustive check agree here.
+	if rep.ResolverDeadlock == "" {
+		t.Fatalf("resolver deadlock not recorded: %+v", rep)
+	}
+	if rep.Verdict.Counterexample == nil {
+		t.Fatalf("no counterexample in report")
+	}
+}
+
+func TestVerifyStarResolutionAdmitted(t *testing.T) {
+	n := 6
+	tr := collect(t, n, func(r *mpi.Rank) {
+		if r.Rank() == 0 {
+			for i := 1; i < n; i++ {
+				r.Recv(r.World(), mpi.AnySource, 0, 32)
+			}
+		} else {
+			r.Send(r.World(), 0, 0, 32)
+		}
+	})
+	rep, err := Verify(tr, nil)
+	if err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if !rep.DeadlockFree() {
+		t.Fatalf("star pattern not deadlock-free: %+v", rep.Verdict)
+	}
+	if !rep.ResolverAdmitted {
+		t.Fatalf("resolver assignment rejected: %v", rep.ResolverBlocked)
+	}
+	if rep.ResolvedVerdict == nil || !rep.ResolvedVerdict.DeadlockFree {
+		t.Fatalf("resolved trace not proven deadlock-free: %+v", rep.ResolvedVerdict)
+	}
+	if rep.Wildcards != n-1 {
+		t.Fatalf("wildcards = %d, want %d", rep.Wildcards, n-1)
+	}
+	// All 5 senders interchangeable: the reduced space is the subsets of
+	// consumed sources.
+	if rep.Verdict.BranchPoints == 0 || rep.Verdict.MaxChoiceDepth != n-1 {
+		t.Fatalf("exploration shape: %+v", rep.Verdict)
+	}
+}
+
+func TestVerifyNonblockingWildcards(t *testing.T) {
+	// Wildcards posted as Irecvs and demanded by Waitall; exercises the
+	// outstanding-queue state and slot matching.
+	n := 4
+	tr := collect(t, n, func(r *mpi.Rank) {
+		c := r.World()
+		if r.Rank() == 0 {
+			var reqs []*mpi.Request
+			for i := 1; i < n; i++ {
+				reqs = append(reqs, r.Irecv(c, mpi.AnySource, 3, 16))
+			}
+			r.Waitall(reqs...)
+		} else {
+			r.Send(c, 0, 3, 16)
+		}
+	})
+	rep, err := Verify(tr, nil)
+	if err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if !rep.DeadlockFree() || !rep.ResolverAdmitted {
+		t.Fatalf("report: %+v", rep)
+	}
+}
+
+func TestCheckMaxStatesBounds(t *testing.T) {
+	n := 6
+	tr := collect(t, n, func(r *mpi.Rank) {
+		if r.Rank() == 0 {
+			for i := 1; i < n; i++ {
+				r.Recv(r.World(), mpi.AnySource, 0, 32)
+			}
+		} else {
+			r.Send(r.World(), 0, 0, 32)
+		}
+	})
+	net, err := FromTrace(tr, nil)
+	if err != nil {
+		t.Fatalf("FromTrace: %v", err)
+	}
+	v := net.Check(&Options{MaxStates: 3})
+	if v.Exhaustive || v.DeadlockFree {
+		t.Fatalf("bounded search claims exhaustive proof: %+v", v)
+	}
+}
+
+func TestFromTraceMaxEventsBounds(t *testing.T) {
+	tr := collect(t, 4, ringBody)
+	if _, err := FromTrace(tr, &Options{MaxEvents: 8}); err == nil {
+		t.Fatal("expansion bound not enforced")
+	}
+}
+
+func TestExportJSON(t *testing.T) {
+	net, err := FromTrace(collectFigure5(t), nil)
+	if err != nil {
+		t.Fatalf("FromTrace: %v", err)
+	}
+	raw, err := ExportJSON(net)
+	if err != nil {
+		t.Fatalf("ExportJSON: %v", err)
+	}
+	var doc struct {
+		NProcs   int               `json:"nprocs"`
+		Channels []json.RawMessage `json:"channels"`
+		Procs    [][]struct {
+			Kind         string `json:"kind"`
+			Alternatives []struct {
+				Source int `json:"source"`
+			} `json:"alternatives"`
+		} `json:"procs"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("artifact is not JSON: %v", err)
+	}
+	if doc.NProcs != 3 || len(doc.Channels) != len(net.Chans) || len(doc.Procs) != 3 {
+		t.Fatalf("artifact shape: nprocs=%d channels=%d procs=%d", doc.NProcs, len(doc.Channels), len(doc.Procs))
+	}
+	// Rank 1's wildcard must list both enabled sources.
+	found := false
+	for _, tr := range doc.Procs[1] {
+		if tr.Kind == "recv-any" {
+			found = true
+			if len(tr.Alternatives) != 2 {
+				t.Fatalf("wildcard alternatives = %+v, want sources 0 and 2", tr.Alternatives)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("wildcard transition family missing from artifact")
+	}
+}
+
+func TestExportTLA(t *testing.T) {
+	net, err := FromTrace(collectFigure5(t), nil)
+	if err != nil {
+		t.Fatalf("FromTrace: %v", err)
+	}
+	mod, err := ExportTLA(net, "Figure5")
+	if err != nil {
+		t.Fatalf("ExportTLA: %v", err)
+	}
+	for _, want := range []string{
+		"---- MODULE Figure5 ----", "Init ==", "Next ==", "recv-any", "Spec ==", "====",
+	} {
+		if !strings.Contains(mod, want) {
+			t.Fatalf("TLA module missing %q:\n%s", want, mod)
+		}
+	}
+	// Rendering is deterministic (the artifact is content-addressed by
+	// the service cache).
+	again, err := ExportTLA(net, "Figure5")
+	if err != nil || mod != again {
+		t.Fatalf("TLA rendering not deterministic (err=%v)", err)
+	}
+}
+
+func TestExportTLABounds(t *testing.T) {
+	tr := collect(t, 2, func(r *mpi.Rank) {
+		c := r.World()
+		peer := 1 - r.Rank()
+		for i := 0; i < 3000; i++ {
+			if r.Rank() == 0 {
+				r.Send(c, peer, 0, 8)
+			} else {
+				r.Recv(c, peer, 0, 8)
+			}
+		}
+	})
+	net, err := FromTrace(tr, nil)
+	if err != nil {
+		t.Fatalf("FromTrace: %v", err)
+	}
+	if _, err := ExportTLA(net, ""); err == nil {
+		t.Fatal("TLA bound not enforced")
+	}
+}
+
+func TestResolverAssignmentExtraction(t *testing.T) {
+	n := 4
+	tr := collect(t, n, func(r *mpi.Rank) {
+		if r.Rank() == 0 {
+			for i := 1; i < n; i++ {
+				r.Recv(r.World(), mpi.AnySource, 0, 32)
+			}
+		} else {
+			r.Send(r.World(), 0, 0, 32)
+		}
+	})
+	net, err := FromTrace(tr, nil)
+	if err != nil {
+		t.Fatalf("FromTrace: %v", err)
+	}
+	resolved, err := wildcard.Resolve(tr)
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	assign, err := ResolverAssignment(net, resolved)
+	if err != nil {
+		t.Fatalf("ResolverAssignment: %v", err)
+	}
+	if len(assign) != n-1 {
+		t.Fatalf("extracted %d assignments, want %d: %v", len(assign), n-1, assign)
+	}
+	srcs := map[int]bool{}
+	for _, src := range assign {
+		srcs[src] = true
+	}
+	if len(srcs) != n-1 {
+		t.Fatalf("assignment sources not distinct: %v", assign)
+	}
+	if ok, blocked := net.ForcedRun(assign); !ok {
+		t.Fatalf("resolver assignment rejected: %v", blocked)
+	}
+}

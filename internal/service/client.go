@@ -114,6 +114,17 @@ func (c *Client) Generate(ctx context.Context, req *Request) (*Result, error) {
 	return &res, nil
 }
 
+// Verify is the synchronous verification one-shot: the request runs the
+// bounded model checker over the trace's MP-net and the result carries the
+// verification report (Result.Verify).
+func (c *Client) Verify(ctx context.Context, req *Request) (*Result, error) {
+	var res Result
+	if err := c.post(ctx, "/v1/verify", req, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
 func (c *Client) post(ctx context.Context, path string, body, out any) error {
 	data, err := json.Marshal(body)
 	if err != nil {

@@ -12,6 +12,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/mpi"
 	"repro/internal/mpip"
+	"repro/internal/mpnet"
 	"repro/internal/netmodel"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -31,6 +32,7 @@ var runPipelineFn = runPipeline
 // both on GET /v1/jobs/{id} and as a span on the /timeline export.
 const (
 	StageTrace    = "service.trace"
+	StageVerify   = "service.verify"
 	StageGenerate = "service.generate"
 	StageRender   = "service.render"
 	StagePredict  = "service.predict"
@@ -73,6 +75,41 @@ func runStages(ctx context.Context, req *Request, progress func(string)) (*Resul
 		return nil, err
 	}
 
+	// Verification runs on the trace as collected — wildcards intact —
+	// before Algorithm 2 resolves them inside core.Generate: that is the
+	// nondeterminism the checker explores. The report rides on the result
+	// (verdict, resolver cross-validation, replay-confirmed counterexample
+	// if one exists); a detected deadlock is a finding, not a pipeline
+	// failure, so generation still proceeds.
+	var verifyRep *mpnet.Report
+	if req.Verify {
+		progress(StageVerify)
+		endVerify := telemetry.Region(StageVerify)
+		verifyRep, err = mpnet.VerifyWithReplay(tr, nil, model)
+		endVerify()
+		if err != nil {
+			return nil, fmt.Errorf("verify: %w", err)
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if !verifyRep.Passed() {
+			// A trace the checker rejects has no executable benchmark:
+			// Algorithm 2 would refuse it (or, worse, its resolution could
+			// deadlock). The job still succeeds — the verdict and its
+			// replay-confirmed counterexample ARE the artifact.
+			return &Result{
+				Key:         req.Key(),
+				App:         req.App,
+				N:           tr.N,
+				Lang:        req.Lang,
+				Verify:      verifyRep,
+				TraceEvents: tr.TotalEvents(),
+				TraceNodes:  tr.NodeCount(),
+			}, nil
+		}
+	}
+
 	progress(StageGenerate)
 	endGen := telemetry.Region(StageGenerate)
 	prog, err := core.Generate(tr, &core.Options{
@@ -96,6 +133,15 @@ func runStages(ctx context.Context, req *Request, progress func(string)) (*Resul
 		src = conceptual.GenerateC(prog)
 	case "go":
 		src, err = core.GenerateGo(tr, nil)
+	case "mpnet":
+		// The formal-model backends serve the net built from the unresolved
+		// trace (core.GenerateMPNet skips resolution), so the artifact keeps
+		// the wildcard alternatives the executable backends eliminate.
+		var raw []byte
+		raw, err = core.GenerateMPNet(tr, nil)
+		src = string(raw)
+	case "tla":
+		src, err = core.GenerateMPNetTLA(tr, nil, "CommModel")
 	default:
 		err = fmt.Errorf("unknown target language %q", req.Lang)
 	}
@@ -141,6 +187,7 @@ func runStages(ctx context.Context, req *Request, progress func(string)) (*Resul
 		ElapsedUS:   run.ElapsedUS,
 		Profile:     prof.String(),
 		CritPath:    critpath.Analyze(graph),
+		Verify:      verifyRep,
 		TraceEvents: tr.TotalEvents(),
 		TraceNodes:  tr.NodeCount(),
 	}, nil

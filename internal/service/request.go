@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/critpath"
+	"repro/internal/mpnet"
 	"repro/internal/netmodel"
 	"repro/internal/trace"
 )
@@ -49,8 +50,17 @@ type Request struct {
 	// Model is the platform model preset (bluegene, ethernet, infiniband,
 	// ideal); default bluegene.
 	Model string `json:"model,omitempty"`
-	// Lang is the target language (conceptual, c, go); default conceptual.
+	// Lang is the target language (conceptual, c, go, mpnet, tla); default
+	// conceptual. "mpnet" and "tla" emit the formal communication model —
+	// the MP-net JSON artifact or its TLA+ rendering — instead of an
+	// executable benchmark.
 	Lang string `json:"lang,omitempty"`
+	// Verify asks the daemon to run the bounded model checker over the
+	// trace's MP-net: the result carries a verification report (deadlock
+	// verdict, wildcard-resolution cross-validation, and — on failure — a
+	// minimal counterexample confirmed by concrete replay). POST /v1/verify
+	// forces this on.
+	Verify bool `json:"verify,omitempty"`
 	// Trace is a raw scalatrace-go trace document; mutually exclusive with
 	// App. It is decoded under the trace package's untrusted-input bounds.
 	Trace string `json:"trace,omitempty"`
@@ -84,9 +94,9 @@ func (r *Request) normalize() error {
 		r.Lang = "conceptual"
 	}
 	switch r.Lang {
-	case "conceptual", "c", "go":
+	case "conceptual", "c", "go", "mpnet", "tla":
 	default:
-		return fmt.Errorf("unknown lang %q (want conceptual, c or go)", r.Lang)
+		return fmt.Errorf("unknown lang %q (want conceptual, c, go, mpnet or tla)", r.Lang)
 	}
 	if r.Model == "" {
 		r.Model = "bluegene"
@@ -162,8 +172,8 @@ func (r *Request) release() {
 // any field that changes the generated artifact is part of the preimage.
 func (r *Request) Key() string {
 	h := sha256.New()
-	fmt.Fprintf(h, "benchd/v1\napp=%s\nn=%d\nclass=%s\nmodel=%s\nlang=%s\n",
-		r.App, r.N, r.Class, r.Model, r.Lang)
+	fmt.Fprintf(h, "benchd/v1\napp=%s\nn=%d\nclass=%s\nmodel=%s\nlang=%s\nverify=%t\n",
+		r.App, r.N, r.Class, r.Model, r.Lang, r.Verify)
 	if r.Trace == "" {
 		fmt.Fprintf(h, "trace=-\n")
 	} else {
@@ -201,6 +211,11 @@ type Result struct {
 	// predicting run (nil on results cached before the profiler existed);
 	// served on its own at GET /v1/jobs/{id}/profile.
 	CritPath *critpath.Profile `json:"critpath,omitempty"`
+	// Verify is the model checker's verification report when the request
+	// asked for one (POST /v1/verify, or Verify:true): the deadlock
+	// verdict over the MP-net, the wildcard-resolution cross-validation,
+	// and — on a counterexample — its replay confirmation.
+	Verify *mpnet.Report `json:"verify,omitempty"`
 	// TraceEvents and TraceNodes summarize the (compressed) input trace.
 	TraceEvents int `json:"trace_events"`
 	TraceNodes  int `json:"trace_nodes"`

@@ -139,6 +139,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/profile", s.handleProfile)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("POST /v1/generate", s.handleGenerate)
+	s.mux.HandleFunc("POST /v1/verify", s.handleVerify)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /timeline", s.handleTimeline)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -327,10 +328,26 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
+	s.handleSync(w, r, false)
+}
+
+// handleVerify is the synchronous verification endpoint: the request runs
+// through the same admission, cache and job pool as /v1/generate, with the
+// model-checker stage forced on, so identical verification requests are
+// served from the content-addressed cache without re-exploring the state
+// space.
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	s.handleSync(w, r, true)
+}
+
+func (s *Server) handleSync(w http.ResponseWriter, r *http.Request, verify bool) {
 	var req Request
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
 		return
+	}
+	if verify {
+		req.Verify = true
 	}
 	job, status, err := s.start(&req)
 	if err != nil {

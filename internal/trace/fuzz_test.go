@@ -57,6 +57,30 @@ func FuzzDecode(f *testing.F) {
 	f.Add([]byte("scalatrace-go 9\n"))
 	f.Add([]byte("# comment\nscalatrace-go 1\nnprocs 1\ncomms 0\ngroups 1\ngroup 0 1\n" +
 		"rsd op=Init site=0 ranks=0 comm=0 csize=1 peer=- tag=0 size=0 root=-1\n"))
+	// Wildcard-heavy seed shaped like the verifier's counterexample traces:
+	// a receiver whose wildcard receive precedes a concrete receive of the
+	// same (peer, tag), the pattern whose naive resolution deadlocks.
+	f.Add([]byte("scalatrace-go 1\nnprocs 3\ncomms 0\ngroups 3\n" +
+		"group 0 1\ngroup 1 1\ngroup 2 1\n" +
+		"rsd op=Send site=1 ranks=0 comm=0 csize=3 peer=abs1 tag=0 size=64 root=-1\n" +
+		"rsd op=Send site=2 ranks=2 comm=0 csize=3 peer=abs1 tag=0 size=64 root=-1\n" +
+		"rsd op=Recv site=3 ranks=1 comm=0 csize=3 peer=any tag=0 size=64 root=-1 wildcard=1\n" +
+		"rsd op=Recv site=4 ranks=1 comm=0 csize=3 peer=abs0 tag=0 size=64 root=-1\n"))
+	// Looped wildcards with mixed tags and nonblocking completion — the
+	// densest shape the MP-net exporter consumes (LU's sweep pattern).
+	f.Add([]byte("scalatrace-go 1\nnprocs 4\ncomms 0\ngroups 1\ngroup 0:3 4\n" +
+		"loop 5 3\n" +
+		"rsd op=Irecv site=10 ranks=0:3 comm=0 csize=4 peer=any tag=500 size=40 root=-1 wildcard=1\n" +
+		"rsd op=Send site=11 ranks=0:3 comm=0 csize=4 peer=rel1 tag=500 size=40 root=-1\n" +
+		"rsd op=Waitall site=12 ranks=0:3 comm=0 csize=4 peer=- tag=0 size=0 root=-1\n"))
+	// The verifier's pinned counterexample form: every wildcard rewritten
+	// to a concrete absolute peer, wildcard flag dropped.
+	f.Add([]byte("scalatrace-go 1\nnprocs 3\ncomms 0\ngroups 3\n" +
+		"group 0 1\ngroup 1 1\ngroup 2 1\n" +
+		"rsd op=Send site=1 ranks=0 comm=0 csize=3 peer=abs1 tag=0 size=64 root=-1 compute=\"v1 100 1 100 100\"\n" +
+		"rsd op=Send site=2 ranks=2 comm=0 csize=3 peer=abs1 tag=0 size=64 root=-1\n" +
+		"rsd op=Recv site=3 ranks=1 comm=0 csize=3 peer=abs0 tag=0 size=64 root=-1\n" +
+		"rsd op=Recv site=4 ranks=1 comm=0 csize=3 peer=abs0 tag=0 size=64 root=-1\n"))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		tr, err := Decode(bytes.NewReader(data))

@@ -1,0 +1,102 @@
+package wildcard_test
+
+import (
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/mpnet"
+	"repro/internal/netmodel"
+	"repro/internal/trace"
+	"repro/internal/wildcard"
+)
+
+// collectCrossCoupled builds the adversarial fixture: two receivers each
+// post a wildcard receive followed by a concrete receive from rank 3,
+// while ranks 0 and 3 both send one message to each receiver. The
+// observed schedule (rank 3 delayed by compute) matches both wildcards to
+// rank 0 and completes — but the naive resolution that matches a wildcard
+// to rank 3 consumes the only message the trailing concrete receive can
+// ever get, and deadlocks. Algorithm 2's timestamp ordering must pick the
+// sound assignment; the model checker must still find the deadlocking
+// alternative and prove it real.
+func collectCrossCoupled(t *testing.T) *trace.Trace {
+	t.Helper()
+	const n = 4
+	col := trace.NewCollector(n)
+	_, err := mpi.Run(n, netmodel.BlueGeneL(), func(r *mpi.Rank) {
+		switch r.Rank() {
+		case 0:
+			r.Send(r.World(), 1, 0, 64)
+			r.Send(r.World(), 2, 0, 64)
+		case 3:
+			r.Compute(1000)
+			r.Send(r.World(), 1, 0, 64)
+			r.Send(r.World(), 2, 0, 64)
+		case 1, 2:
+			r.Recv(r.World(), mpi.AnySource, 0, 64)
+			r.Recv(r.World(), 3, 0, 64)
+		}
+	}, mpi.WithTracer(col.TracerFor))
+	if err != nil {
+		t.Fatalf("collect: %v", err)
+	}
+	return col.Trace()
+}
+
+// TestAdversarialCrossCoupledWildcards is the resolver's adversarial
+// regression: the fixture's wildcard space contains a deadlocking
+// assignment, the checker finds and replay-confirms it, and the resolver's
+// own assignment is verified sound — admitted by the net, with the
+// resolved trace proven deadlock-free.
+func TestAdversarialCrossCoupledWildcards(t *testing.T) {
+	tr := collectCrossCoupled(t)
+
+	// Algorithm 2 must succeed on this trace: the observed execution
+	// completes, and the resolver follows its timestamp order.
+	if _, err := wildcard.Resolve(tr); err != nil {
+		t.Fatalf("Resolve rejected a completable trace: %v", err)
+	}
+
+	rep, err := mpnet.VerifyWithReplay(tr, nil, netmodel.BlueGeneL())
+	if err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if rep.Wildcards != 2 {
+		t.Fatalf("fixture has %d wildcard receives, want 2", rep.Wildcards)
+	}
+
+	// The naive assignment deadlocks, so the net as a whole is NOT
+	// deadlock-free and the checker must exhibit the bad interleaving:
+	// some wildcard matched to rank 3.
+	if rep.DeadlockFree() {
+		t.Fatalf("checker missed the deadlocking wildcard assignment")
+	}
+	cx := rep.Verdict.Counterexample
+	if cx == nil {
+		t.Fatalf("no counterexample in verdict: %+v", rep.Verdict)
+	}
+	sawRank3 := false
+	for _, ch := range cx.Choices {
+		if ch.Source == 3 {
+			sawRank3 = true
+		}
+	}
+	if !sawRank3 {
+		t.Fatalf("counterexample does not commit a wildcard to rank 3: %+v", cx.Choices)
+	}
+	if !rep.ReplayConfirmed {
+		t.Fatalf("counterexample not confirmed by concrete replay: %s", rep.ReplayError)
+	}
+
+	// The resolver's ordering is the sound one: its assignment is admitted
+	// by the net and the resolved trace is proven deadlock-free.
+	if !rep.ResolverAdmitted {
+		t.Fatalf("resolver assignment rejected by the net: %v", rep.ResolverBlocked)
+	}
+	if rep.ResolvedVerdict == nil || !rep.ResolvedVerdict.DeadlockFree {
+		t.Fatalf("resolved trace not proven deadlock-free: %+v", rep.ResolvedVerdict)
+	}
+	if rep.ResolverDeadlock != "" {
+		t.Fatalf("resolver reported a spurious deadlock: %s", rep.ResolverDeadlock)
+	}
+}
